@@ -1,0 +1,23 @@
+"""Ablation A5: TLM quantum size vs simulation speed and accuracy.
+
+The paper's Section 4 TLM argument quantified: loosely-timed modeling
+with larger quanta costs fewer kernel events (faster simulation) while
+the back-annotated timing stays accurate.
+"""
+
+from repro.analysis.report import format_table
+from repro.tlm.compare import quantum_sweep
+
+
+def test_tlm_quantum_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: quantum_sweep(quanta=(10.0, 100.0, 1000.0, 10_000.0),
+                              transactions=200),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(rows))
+    events = [row["tlm_events"] for row in rows]
+    assert events == sorted(events, reverse=True), "bigger quantum, fewer events"
+    assert all(row["event_ratio"] > 5 for row in rows)
+    assert all(row["timing_error"] < 0.25 for row in rows)

@@ -1,0 +1,16 @@
+"""Benchmark E1: Mask-set NRE x10 over three generations, >$1M at 90nm.
+
+Regenerates the table for experiment E1 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e01_mask_nre.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e01_mask_nre
+from repro.analysis.report import render_experiment
+
+
+def test_mask_nre_e1(benchmark):
+    result = benchmark(e01_mask_nre)
+    print()
+    print(render_experiment("E1", result))
+    assert result["verdict"]["exceeds_1M_at_90nm"]

@@ -1,0 +1,16 @@
+"""Benchmark E2: $5 chip at 20% margin needs >1M units for the 90nm mask alone.
+
+Regenerates the table for experiment E2 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e02_breakeven_mask.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e02_mask_breakeven
+from repro.analysis.report import render_experiment
+
+
+def test_breakeven_mask_e2(benchmark):
+    result = benchmark(e02_mask_breakeven)
+    print()
+    print(render_experiment("E2", result))
+    assert result["verdict"]["exceeds_1M"]

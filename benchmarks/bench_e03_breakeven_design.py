@@ -1,0 +1,16 @@
+"""Benchmark E3: $10-100M design NRE at 0.13um implies 10-100M unit volumes.
+
+Regenerates the table for experiment E3 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e03_breakeven_design.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e03_design_breakeven
+from repro.analysis.report import render_experiment
+
+
+def test_breakeven_design_e3(benchmark):
+    result = benchmark(e03_design_breakeven)
+    print()
+    print(render_experiment("E3", result))
+    assert result["verdict"]["volume_in_10M_100M_band"]

@@ -1,0 +1,16 @@
+"""Benchmark E4: 100M+ transistors hold the logic of >1000 32-bit RISC cores.
+
+Regenerates the table for experiment E4 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e04_risc_count.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e04_risc_equivalents
+from repro.analysis.report import render_experiment
+
+
+def test_risc_count_e4(benchmark):
+    result = benchmark(e04_risc_equivalents)
+    print()
+    print(render_experiment("E4", result))
+    assert result["verdict"]["exceeds_1000"]

@@ -1,0 +1,16 @@
+"""Benchmark E5: The NRE-flexibility continuum: FPGA low volume, ASIC high.
+
+Regenerates the table for experiment E5 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e05_alternatives.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e05_alternatives
+from repro.analysis.report import render_experiment
+
+
+def test_alternatives_e5(benchmark):
+    result = benchmark(e05_alternatives)
+    print()
+    print(render_experiment("E5", result))
+    assert result["verdict"]["fpga_wins_low"] and result["verdict"]["asic_wins_high"]

@@ -1,0 +1,16 @@
+"""Benchmark E6: Design productivity peaks at 130nm and declines below 90nm.
+
+Regenerates the table for experiment E6 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e06_productivity.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e06_productivity
+from repro.analysis.report import render_experiment
+
+
+def test_productivity_e6(benchmark):
+    result = benchmark(e06_productivity)
+    print()
+    print(render_experiment("E6", result))
+    assert result["verdict"]["declines_after_peak"]

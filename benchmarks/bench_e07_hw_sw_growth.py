@@ -1,0 +1,16 @@
+"""Benchmark E7: HW +56%/yr vs SW +140%/yr; SW effort overtakes HW pre-2003.
+
+Regenerates the table for experiment E7 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e07_hw_sw_growth.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e07_hw_sw_growth
+from repro.analysis.report import render_experiment
+
+
+def test_hw_sw_growth_e7(benchmark):
+    result = benchmark(e07_hw_sw_growth)
+    print()
+    print(render_experiment("E7", result))
+    assert result["verdict"]["before_paper"]

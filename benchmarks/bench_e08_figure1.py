@@ -1,0 +1,16 @@
+"""Benchmark E8: Figure 1: the flexibility vs differentiation processor spectrum.
+
+Regenerates the table for experiment E8 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e08_figure1.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e08_figure1
+from repro.analysis.report import render_experiment
+
+
+def test_figure1_e8(benchmark):
+    result = benchmark(e08_figure1)
+    print()
+    print(render_experiment("E8", result))
+    assert result["verdict"]["all_on_front"]

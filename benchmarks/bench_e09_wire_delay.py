@@ -1,0 +1,16 @@
+"""Benchmark E9: 6-10 cycles to cross a 50nm die; NoC latencies several x larger.
+
+Regenerates the table for experiment E9 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e09_wire_delay.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e09_wire_delay
+from repro.analysis.report import render_experiment
+
+
+def test_wire_delay_e9(benchmark):
+    result = benchmark(e09_wire_delay)
+    print()
+    print(render_experiment("E9", result))
+    assert result["verdict"]["in_6_10_band"]

@@ -1,0 +1,16 @@
+"""Benchmark E10: Topology characterization: bus/ring/tree/mesh/torus/fat-tree/crossbar.
+
+Regenerates the table for experiment E10 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e10_noc_topologies.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e10_noc_topologies
+from repro.analysis.report import render_experiment
+
+
+def test_noc_topologies_e10(benchmark):
+    result = benchmark.pedantic(e10_noc_topologies, rounds=1, iterations=1)
+    print()
+    print(render_experiment("E10", result))
+    assert result["verdict"]["bus_saturates_first"]

@@ -1,0 +1,16 @@
+"""Benchmark E11: Hardware multithreading hides 10-200 cycle interconnect latency.
+
+Regenerates the table for experiment E11 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e11_multithreading.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e11_multithreading
+from repro.analysis.report import render_experiment
+
+
+def test_multithreading_e11(benchmark):
+    result = benchmark(e11_multithreading)
+    print()
+    print(render_experiment("E11", result))
+    assert result["verdict"]["recovers_90pct"]

@@ -1,0 +1,16 @@
+"""Benchmark E12: The 10x eFPGA penalty limits it to <5% of SoC functionality.
+
+Regenerates the table for experiment E12 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e12_efpga_share.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e12_efpga_share
+from repro.analysis.report import render_experiment
+
+
+def test_efpga_share_e12(benchmark):
+    result = benchmark(e12_efpga_share)
+    print()
+    print(render_experiment("E12", result))
+    assert result["verdict"]["acceptable_below_5pct"]

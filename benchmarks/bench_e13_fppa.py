@@ -1,0 +1,16 @@
+"""Benchmark E13: Figure 2: FPPA platform composition from 6 to 64 processors.
+
+Regenerates the table for experiment E13 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e13_fppa.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e13_fppa_composition
+from repro.analysis.report import render_experiment
+
+
+def test_fppa_e13(benchmark):
+    result = benchmark(e13_fppa_composition)
+    print()
+    print(render_experiment("E13", result))
+    assert result["verdict"]["has_all_component_classes"]

@@ -1,0 +1,16 @@
+"""Benchmark E14: IPv4 at 10Gb/s on StepNP: near-100% utilization at >100-cycle latency.
+
+Regenerates the table for experiment E14 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e14_ipv4_stepnp.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e14_ipv4_stepnp
+from repro.analysis.report import render_experiment
+
+
+def test_ipv4_stepnp_e14(benchmark):
+    result = benchmark.pedantic(e14_ipv4_stepnp, rounds=1, iterations=1)
+    print()
+    print(render_experiment("E14", result))
+    assert result["verdict"]["near_full_utilization"]

@@ -1,0 +1,16 @@
+"""Benchmark E15: Automated application-to-platform mapping beats naive placement.
+
+Regenerates the table for experiment E15 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e15_mapping.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e15_mapping
+from repro.analysis.report import render_experiment
+
+
+def test_mapping_e15(benchmark):
+    result = benchmark(e15_mapping)
+    print()
+    print(render_experiment("E15", result))
+    assert result["verdict"]["auto_beats_naive"]

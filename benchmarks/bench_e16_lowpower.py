@@ -1,0 +1,16 @@
+"""Benchmark E16: Multi-Vt, back-bias and voltage scaling leakage/energy levers.
+
+Regenerates the table for experiment E16 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e16_lowpower.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e16_low_power
+from repro.analysis.report import render_experiment
+
+
+def test_lowpower_e16(benchmark):
+    result = benchmark(e16_low_power)
+    print()
+    print(render_experiment("E16", result))
+    assert result["verdict"]["multi_vt_saves_over_half_leakage"]

@@ -1,0 +1,16 @@
+"""Benchmark E17: Embedded memory architecture tradeoffs: eSRAM/eDRAM/external.
+
+Regenerates the table for experiment E17 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e17_memory.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e17_memory_tradeoff
+from repro.analysis.report import render_experiment
+
+
+def test_memory_e17(benchmark):
+    result = benchmark(e17_memory_tradeoff)
+    print()
+    print(render_experiment("E17", result))
+    assert result["verdict"]["esram_wins_small"]

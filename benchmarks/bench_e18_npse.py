@@ -1,0 +1,16 @@
+"""Benchmark E18: SRAM-trie search engine vs CAM: memory and power efficiency.
+
+Regenerates the table for experiment E18 (see DESIGN.md / EXPERIMENTS.md)
+and reports the runtime of the full experiment as the benchmark metric.
+Run with ``pytest benchmarks/bench_e18_npse.py --benchmark-only -s`` to see the table.
+"""
+
+from repro.analysis.experiments import e18_npse_vs_cam
+from repro.analysis.report import render_experiment
+
+
+def test_npse_e18(benchmark):
+    result = benchmark.pedantic(e18_npse_vs_cam, rounds=1, iterations=1)
+    print()
+    print(render_experiment("E18", result))
+    assert result["verdict"]["trie_wins_energy_at_scale"]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment: IPv4 fast path at 10 Gbit/s on StepNP.
+
+Section 7.2 of the paper: "We achieved near 100% utilization of the
+embedded processors and threads, even in presence of NoC interconnect
+latencies of over 100 cycles, while processing worst-case traffic at a
+10 Gbit line rate."
+
+This script sweeps the hardware thread count at a fixed >100-cycle
+forwarding-table latency and prints the utilization/throughput table —
+single-threaded cores collapse, multithreaded cores sustain line rate.
+
+Run:  python examples/ipv4_stepnp.py
+"""
+
+from repro.analysis.report import format_table
+from repro.apps.stepnp_ipv4 import run_ipv4_on_stepnp
+
+
+def main():
+    rows = []
+    for threads in (1, 2, 4, 8):
+        result = run_ipv4_on_stepnp(
+            num_pes=16,
+            threads_per_pe=threads,
+            packets=1200,
+            line_rate_gbps=10.0,
+            packet_bytes=40,          # worst case: minimum-size packets
+            extra_table_latency=100.0,  # ">100 cycle" NoC regime
+        )
+        rows.append(result.as_row())
+    print("IPv4 fast path on StepNP (16 PEs, SPIN fat-tree NoC,")
+    print("forwarding-table round trips > 100 cycles):\n")
+    print(format_table(rows))
+    best = rows[-1]
+    print(
+        f"\nWith {best['threads']} hardware threads per PE the platform "
+        f"sustains {best['sustained_gbps']} Gb/s of the offered "
+        f"{best['offered_gbps']} Gb/s at {best['utilization']:.0%} PE "
+        "utilization — the paper's result."
+    )
+
+
+if __name__ == "__main__":
+    main()

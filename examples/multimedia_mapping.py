@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Multimedia application-to-platform mapping exploration.
+
+Section 8's outlook: extend the MP-SoC programming models "for consumer
+multimedia applications like image processing and digital video".  This
+example maps a video-decoder pipeline onto candidate platforms with the
+MultiFlex-style mappers, explores the design space (PE count x topology
+x mapper), and reports the Pareto front plus the frame rates each
+product class needs.
+
+Run:  python examples/multimedia_mapping.py
+"""
+
+from repro.analysis.report import format_table
+from repro.apps.multimedia import (
+    FRAME_RATE_TARGETS,
+    frame_rate_on_platform,
+    video_pipeline_graph,
+)
+from repro.mapping.dse import explore, make_platform_model, pareto_points
+from repro.mapping.evaluate import evaluate_mapping
+from repro.mapping.mapper import MAPPERS, run_mapper
+from repro.noc.topology import TopologyKind
+
+
+def main():
+    graph = video_pipeline_graph(parallel_slices=4)
+    print(
+        f"video pipeline: {len(graph)} tasks, "
+        f"{graph.total_compute():,.0f} reference cycles/frame, "
+        f"critical path {graph.critical_path_cycles():,.0f} cycles"
+    )
+
+    print()
+    print("=" * 72)
+    print("1. Mapper comparison on an 8-PE mesh platform (25% DSPs)")
+    print("=" * 72)
+    platform = make_platform_model(8, "mesh", dsp_fraction=0.25)
+    rows = []
+    for name in sorted(MAPPERS):
+        mapping = run_mapper(name, graph, platform)
+        cost = evaluate_mapping(graph, platform, mapping, mapper_name=name)
+        rows.append(cost.as_row())
+    print(format_table(rows))
+
+    print()
+    print("=" * 72)
+    print("2. Design-space exploration (PE count x topology x mapper)")
+    print("=" * 72)
+    points = explore(
+        graph,
+        pe_counts=(4, 8, 16),
+        topologies=(TopologyKind.MESH, TopologyKind.FAT_TREE),
+        mappers=("round_robin", "comm_aware"),
+    )
+    front = pareto_points(points)
+    rows = [
+        {
+            "pes": p.num_pes,
+            "topology": p.topology,
+            "mapper": p.mapper,
+            "makespan": round(p.cost.makespan_cycles),
+            "area_proxy": f"{p.area_proxy:,.0f}",
+            "pareto": "*" if p in front else "",
+        }
+        for p in points
+    ]
+    print(format_table(rows))
+
+    print()
+    print("=" * 72)
+    print("3. Frame rates by platform and product target (300 MHz)")
+    print("=" * 72)
+    rows = []
+    for num_pes, dsp in ((4, 0.0), (8, 0.25), (8, 0.5), (16, 0.5)):
+        candidate = make_platform_model(num_pes, "mesh", dsp_fraction=dsp)
+        fps = frame_rate_on_platform(candidate)
+        row = {"pes": num_pes, "dsp_mix": f"{dsp:.0%}", "fps": round(fps, 1)}
+        for product, target in FRAME_RATE_TARGETS.items():
+            row[product] = "ok" if fps >= target else "-"
+        rows.append(row)
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    main()

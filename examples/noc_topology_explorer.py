@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""NoC topology characterization.
+
+Section 6.1 of the paper: "there is still much remaining work to be done
+to characterize the various topologies — ranging from bus, ring, tree to
+full-crossbar — and their effectiveness for different application
+domains."  This explorer does that characterization: for each topology
+and traffic pattern it reports zero-load latency, latency at moderate
+load, the saturation point, and the wiring cost.
+
+Run:  python examples/noc_topology_explorer.py [terminals]
+"""
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.noc.metrics import saturation_load, simulate_traffic
+from repro.noc.topology import bus, crossbar, fat_tree, mesh, ring, torus, tree
+from repro.noc.traffic import TrafficPattern
+
+
+def explore(terminals=16, saturation_loads=None, patterns=None):
+    builders = [bus, ring, tree, mesh, torus, fat_tree, crossbar]
+    if terminals < 9:
+        builders.remove(torus)  # a torus needs >=3 routers per dimension
+    patterns = patterns or [
+        TrafficPattern.UNIFORM,
+        TrafficPattern.NEIGHBOR,
+        TrafficPattern.HOTSPOT,
+    ]
+    loads = saturation_loads or [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9]
+    rows = []
+    for build in builders:
+        topology = build(terminals)
+        for pattern in patterns:
+            light = simulate_traffic(
+                topology, pattern, 0.05, duration=3000.0, warmup=750.0
+            )
+            sat = saturation_load(
+                topology,
+                pattern,
+                loads=loads,
+                duration=2500.0,
+                warmup=500.0,
+            )
+            rows.append(
+                {
+                    "topology": topology.name,
+                    "pattern": pattern.value,
+                    "latency@5%": round(light.avg_latency, 1),
+                    "saturation_load": sat,
+                    "wiring_cost": round(topology.wiring_cost()),
+                }
+            )
+    return rows
+
+
+def main():
+    terminals = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    rows = explore(terminals)
+    print(f"NoC topology characterization at {terminals} terminals")
+    print("(saturation_load = offered flits/terminal/cycle at which the")
+    print(" network saturates; inf = never within the sweep)\n")
+    print(format_table(rows))
+    print(
+        "\nReading: the bus saturates almost immediately (the paper's"
+        "\nargument for moving away from shared buses); the crossbar has"
+        "\nthe best latency but a wiring cost an order of magnitude above"
+        "\nthe mesh/fat-tree, which scale gracefully."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""SoC economics explorer: the numbers behind the paper's Section 1.
+
+Regenerates the economic case for flexible platforms: mask-set NRE
+escalation, break-even volumes at the paper's $5/20% example, the
+NRE-flexibility continuum winners by volume, and platform amortization
+over a product family.
+
+Run:  python examples/platform_economics.py
+"""
+
+from repro.analysis.report import format_table
+from repro.economics.alternatives import best_alternative
+from repro.economics.breakeven import BreakEven, platform_amortization
+from repro.economics.complexity import risc_equivalents_at_node
+from repro.economics.nre import mask_nre_series
+from repro.economics.productivity import productivity_series
+from repro.technology.node import node_names
+
+
+def main():
+    print("=" * 72)
+    print("1. Mask-set NRE by node (the x10-in-3-generations escalation)")
+    print("=" * 72)
+    rows = [
+        {"node": name, "mask_nre": f"${cost:,.0f}"}
+        for name, cost in mask_nre_series()
+    ]
+    print(format_table(rows))
+
+    print()
+    print("=" * 72)
+    print("2. Break-even volumes at the paper's $5 chip, 20% margin")
+    print("=" * 72)
+    rows = [BreakEven.analyze(name).as_row() for name in node_names()]
+    print(format_table(rows))
+
+    print()
+    print("=" * 72)
+    print("3. Cheapest implementation style by volume (130nm, 50M tx)")
+    print("=" * 72)
+    rows = []
+    for volume in (1_000, 10_000, 50_000, 200_000, 1_000_000, 10_000_000):
+        choice, cost = best_alternative("130nm", volume)
+        rows.append(
+            {
+                "volume": f"{volume:,}",
+                "winner": choice.value,
+                "total_cost": f"${cost:,.0f}",
+            }
+        )
+    print(format_table(rows))
+
+    print()
+    print("=" * 72)
+    print("4. Platform amortization over a product family")
+    print("=" * 72)
+    rows = []
+    for variants in (1, 2, 5, 10, 20):
+        result = platform_amortization(60e6, variants)
+        rows.append(
+            {
+                "variants": variants,
+                "nre_per_product": f"${result['nre_per_product']:,.0f}",
+                "saving": f"{result['saving_vs_independent']:.0%}",
+            }
+        )
+    print(format_table(rows))
+
+    print()
+    print("=" * 72)
+    print("5. Design productivity and the silicon the paper counts in RISCs")
+    print("=" * 72)
+    productivity = dict(productivity_series())
+    rows = [
+        {
+            "node": name,
+            "tx_per_man_year": f"{productivity[name]:,.0f}",
+            "risc_cores_per_100mm2": round(
+                risc_equivalents_at_node(name, 100.0)
+            ),
+        }
+        for name in node_names()
+    ]
+    print(format_table(rows))
+    print(
+        "\nProductivity peaks at 130nm and declines below 90nm (deep-"
+        "\nsubmicron drag) while the die holds ever more RISC-equivalents:"
+        "\nthe widening gap the paper's platform thesis answers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,191 @@
+"""Longest-prefix-match trie: the NPSE packet search engine model.
+
+Section 8 of the paper describes "a high-performance network packet
+search engine optimized for IPv4/IPv6 forwarding.  In comparison with
+CAM-based look-up methods, it relies on an SRAM-based approach that is
+more memory and power-efficient" [Soni et al., DATE 2003].  This module
+implements the SRAM side: a multi-bit-stride trie whose per-lookup cost
+is a handful of SRAM reads, with area/energy accounting that experiment
+E18 compares against the CAM baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Energy of one SRAM read of a trie node (pJ), 130 nm class.
+SRAM_READ_PJ = 20.0
+
+#: SRAM bits per trie-node entry (next-hop/child pointer + flags).
+BITS_PER_ENTRY = 24
+
+
+class _Node:
+    """One trie node: a 2^stride fan-out of children and stored next hops.
+
+    ``next_hops[i]`` holds ``(next_hop, prefix_length)`` so controlled
+    prefix expansion can give longer prefixes priority regardless of
+    insertion order.
+    """
+
+    __slots__ = ("children", "next_hops")
+
+    def __init__(self, fanout: int) -> None:
+        self.children: List[Optional["_Node"]] = [None] * fanout
+        self.next_hops: List[Optional[Tuple[int, int]]] = [None] * fanout
+
+
+@dataclass(frozen=True)
+class TrieStats:
+    """Size/cost figures for a built trie."""
+
+    prefixes: int
+    nodes: int
+    entries: int
+    sram_bits: int
+    sram_kbytes: float
+    worst_case_accesses: int
+
+    def lookup_energy_pj(self, accesses: int) -> float:
+        return accesses * SRAM_READ_PJ
+
+
+class LpmTrie:
+    """Multi-bit-stride longest-prefix-match trie over IPv4 addresses.
+
+    Parameters
+    ----------
+    stride:
+        Bits consumed per level; stride 8 gives at most 4 SRAM accesses
+        per lookup for IPv4.  Controlled-prefix-expansion is applied on
+        insert: a prefix whose length is not a stride multiple is
+        expanded into the covering entries at the next level boundary.
+    """
+
+    def __init__(self, stride: int = 8) -> None:
+        if not 1 <= stride <= 16:
+            raise ValueError(f"stride must be in 1..16, got {stride}")
+        if 32 % stride:
+            raise ValueError(f"stride {stride} must divide 32")
+        self.stride = stride
+        self.levels = 32 // stride
+        self._fanout = 1 << stride
+        self._root = _Node(self._fanout)
+        self._node_count = 1
+        self._prefixes = 0
+        #: (depth of deepest stored entry) for worst-case accounting
+        self._max_depth = 1
+
+    def insert(self, prefix: int, length: int, next_hop: int) -> None:
+        """Insert ``prefix/length`` with *next_hop*.
+
+        Longer (more specific) prefixes stored deeper override shorter
+        ones on lookup, per LPM semantics.
+        """
+        self._check_prefix(prefix, length)
+        if next_hop < 0:
+            raise ValueError(f"negative next hop {next_hop}")
+        self._prefixes += 1
+        if length == 0:
+            # Default route: expand across the root level.
+            for index in range(self._fanout):
+                self._store(self._root, index, next_hop, 0)
+            return
+        # Walk full-stride levels.
+        node = self._root
+        depth = 1
+        remaining = length
+        shift = 32
+        while remaining > self.stride:
+            shift -= self.stride
+            index = (prefix >> shift) & (self._fanout - 1)
+            child = node.children[index]
+            if child is None:
+                child = _Node(self._fanout)
+                node.children[index] = child
+                self._node_count += 1
+            node = child
+            depth += 1
+            remaining -= self.stride
+        self._max_depth = max(self._max_depth, depth)
+        # Controlled prefix expansion within the final level.
+        shift -= self.stride
+        base = (prefix >> shift) & (self._fanout - 1)
+        span = 1 << (self.stride - remaining)
+        start = base & ~(span - 1)
+        for index in range(start, start + span):
+            self._store(node, index, next_hop, length)
+
+    def _store(
+        self, node: _Node, index: int, next_hop: int, length: int
+    ) -> None:
+        """Write an expanded entry, keeping the longest prefix."""
+        existing = node.next_hops[index]
+        if existing is None or length >= existing[1]:
+            node.next_hops[index] = (next_hop, length)
+
+    def lookup(self, address: int) -> Tuple[Optional[int], int]:
+        """Return ``(next_hop, sram_accesses)`` for *address*.
+
+        ``next_hop`` is None when no prefix covers the address.
+        """
+        if not 0 <= address < 1 << 32:
+            raise ValueError(f"address out of range: {address:#x}")
+        node = self._root
+        shift = 32
+        best: Optional[int] = None
+        accesses = 0
+        while node is not None:
+            shift -= self.stride
+            index = (address >> shift) & (self._fanout - 1)
+            accesses += 1
+            entry = node.next_hops[index]
+            if entry is not None:
+                best = entry[0]
+            node = node.children[index] if shift > 0 else None
+        return best, accesses
+
+    def stats(self) -> TrieStats:
+        """Memory and worst-case-access figures."""
+        entries = self._node_count * self._fanout
+        bits = entries * BITS_PER_ENTRY
+        return TrieStats(
+            prefixes=self._prefixes,
+            nodes=self._node_count,
+            entries=entries,
+            sram_bits=bits,
+            sram_kbytes=bits / 8.0 / 1024.0,
+            worst_case_accesses=self.levels,
+        )
+
+    def _check_prefix(self, prefix: int, length: int) -> None:
+        if not 0 <= length <= 32:
+            raise ValueError(f"prefix length must be 0..32, got {length}")
+        if not 0 <= prefix < 1 << 32:
+            raise ValueError(f"prefix out of range: {prefix:#x}")
+        if length < 32 and prefix & ((1 << (32 - length)) - 1):
+            raise ValueError(
+                f"prefix {prefix:#010x}/{length} has bits below the mask"
+            )
+
+
+def linear_scan_lookup(
+    table: List[Tuple[int, int, int]], address: int
+) -> Optional[int]:
+    """Reference LPM by linear scan over (prefix, length, next_hop).
+
+    Used by the property tests as the semantics oracle for the trie.
+    """
+    best_length = -1
+    best_hop: Optional[int] = None
+    for prefix, length, next_hop in table:
+        if length == 0:
+            matches = True
+        else:
+            mask = ~((1 << (32 - length)) - 1) & 0xFFFFFFFF
+            matches = (address & mask) == prefix
+        if matches and length > best_length:
+            best_length = length
+            best_hop = next_hop
+    return best_hop

@@ -1,0 +1,151 @@
+"""Line-rate packet traffic generation.
+
+Builds the forwarding tables and packet traces for the IPv4
+experiments: random-but-realistic prefix tables (a mix of /8 through
+/24 with a default route) and worst-case minimum-size packet streams —
+40-byte packets back to back at 10 Gbit/s, the arrival process the
+paper's Section 7.2 result assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.apps.cam import CamTable
+from repro.apps.ipv4 import build_header
+from repro.apps.lpm import LpmTrie
+from repro.sim.rng import RandomStreams
+
+#: Realistic-ish prefix length distribution for an early-2000s core
+#: table: heavy /16-/24 with some coarse aggregates.
+PREFIX_LENGTH_WEIGHTS: List[Tuple[int, float]] = [
+    (8, 0.02),
+    (12, 0.04),
+    (16, 0.22),
+    (18, 0.07),
+    (20, 0.14),
+    (22, 0.14),
+    (24, 0.37),
+]
+
+
+def random_prefix_table(
+    prefixes: int,
+    next_hops: int = 16,
+    seed: int = 5,
+    include_default: bool = True,
+) -> List[Tuple[int, int, int]]:
+    """Generate (prefix, length, next_hop) entries."""
+    if prefixes < 1:
+        raise ValueError(f"need >=1 prefix, got {prefixes}")
+    if next_hops < 1:
+        raise ValueError(f"need >=1 next hop, got {next_hops}")
+    rng = RandomStreams(seed).get("prefix_table")
+    lengths = [l for l, _w in PREFIX_LENGTH_WEIGHTS]
+    weights = [w for _l, w in PREFIX_LENGTH_WEIGHTS]
+    table: List[Tuple[int, int, int]] = []
+    seen = set()
+    if include_default:
+        table.append((0, 0, 0))
+    while len(table) < prefixes:
+        length = rng.choices(lengths, weights)[0]
+        value = rng.getrandbits(length) << (32 - length)
+        if (value, length) in seen:
+            continue
+        seen.add((value, length))
+        table.append((value, length, rng.randrange(next_hops)))
+    return table
+
+
+def build_trie(table: List[Tuple[int, int, int]], stride: int = 8) -> LpmTrie:
+    """Load a prefix table into a trie."""
+    trie = LpmTrie(stride=stride)
+    for prefix, length, next_hop in table:
+        trie.insert(prefix, length, next_hop)
+    return trie
+
+
+def build_cam(table: List[Tuple[int, int, int]]) -> CamTable:
+    """Load a prefix table into the CAM baseline."""
+    cam = CamTable()
+    for prefix, length, next_hop in table:
+        cam.insert(prefix, length, next_hop)
+    return cam
+
+
+@dataclass
+class PacketTrace:
+    """A generated stream of IPv4 packets.
+
+    ``headers`` are real 20-byte IPv4 headers; ``interarrival_cycles``
+    is the line-rate spacing at the SoC clock.
+    """
+
+    headers: List[bytes]
+    packet_bytes: int
+    line_rate_gbps: float
+    clock_ghz: float
+    interarrival_cycles: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.packet_bytes < 20:
+            raise ValueError(f"packet must be >=20 bytes, got {self.packet_bytes}")
+        if self.line_rate_gbps <= 0 or self.clock_ghz <= 0:
+            raise ValueError("rates must be positive")
+        bytes_per_cycle = self.line_rate_gbps / 8.0 / self.clock_ghz
+        self.interarrival_cycles = self.packet_bytes / bytes_per_cycle
+
+    @property
+    def count(self) -> int:
+        return len(self.headers)
+
+    def offered_gbps(self) -> float:
+        return self.line_rate_gbps
+
+
+def worst_case_trace(
+    count: int,
+    table: List[Tuple[int, int, int]],
+    packet_bytes: int = 40,
+    line_rate_gbps: float = 10.0,
+    clock_ghz: float = 0.5,
+    seed: int = 9,
+    hit_fraction: float = 0.98,
+) -> PacketTrace:
+    """Minimum-size packets at full line rate.
+
+    Destinations are drawn so *hit_fraction* of them match a random
+    table prefix (the rest fall to the default route or miss),
+    modelling worst-case traffic that still exercises deep trie walks.
+    """
+    if count < 1:
+        raise ValueError(f"need >=1 packet, got {count}")
+    if not 0.0 <= hit_fraction <= 1.0:
+        raise ValueError(f"hit fraction must be in [0,1], got {hit_fraction}")
+    rng = RandomStreams(seed).get("trace")
+    specific = [entry for entry in table if entry[1] > 0]
+    headers: List[bytes] = []
+    for index in range(count):
+        if specific and rng.random() < hit_fraction:
+            prefix, length, _hop = rng.choice(specific)
+            host_bits = 32 - length
+            dst = prefix | (rng.getrandbits(host_bits) if host_bits else 0)
+        else:
+            dst = rng.getrandbits(32)
+        src = rng.getrandbits(32)
+        headers.append(
+            build_header(
+                src=src,
+                dst=dst,
+                ttl=64,
+                total_length=packet_bytes,
+                identification=index & 0xFFFF,
+            )
+        )
+    return PacketTrace(
+        headers=headers,
+        packet_bytes=packet_bytes,
+        line_rate_gbps=line_rate_gbps,
+        clock_ghz=clock_ghz,
+    )

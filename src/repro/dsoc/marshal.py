@@ -1,0 +1,185 @@
+"""Compact binary marshaling for DSOC messages.
+
+A self-describing tag-length-value format covering the types DSOC
+traffics in: ints, floats, bools, None, bytes, str, lists/tuples and
+string-keyed dicts.  The encoded length feeds :func:`wire_flits`, so
+every simulated request/response occupies a flit count derived from its
+*actual* marshalled size — message size effects on NoC load are real,
+not assumed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+#: Type tags.
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT_POS = 0x03   # unsigned varint
+_T_INT_NEG = 0x04   # unsigned varint of (-n - 1)
+_T_FLOAT = 0x05     # 8-byte IEEE754
+_T_BYTES = 0x06     # varint length + raw
+_T_STR = 0x07       # varint length + utf-8
+_T_LIST = 0x08      # varint count + items
+_T_DICT = 0x09      # varint count + (str key, value) pairs
+
+#: Per-message wire header: 8-byte routing/sequence header (src, dst,
+#: request id, flags), mirroring a hardware message header.
+WIRE_HEADER_BYTES = 8
+
+
+class MarshalError(ValueError):
+    """Unsupported value or corrupt wire data."""
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    if value < 0:
+        raise MarshalError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise MarshalError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise MarshalError("varint too long")
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif isinstance(value, int):
+        if value >= 0:
+            out.append(_T_INT_POS)
+            _encode_varint(value, out)
+        else:
+            out.append(_T_INT_NEG)
+            _encode_varint(-value - 1, out)
+    elif isinstance(value, float):
+        out.append(_T_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        _encode_varint(len(value), out)
+        out.extend(value)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_T_STR)
+        _encode_varint(len(encoded), out)
+        out.extend(encoded)
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST)
+        _encode_varint(len(value), out)
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        out.append(_T_DICT)
+        _encode_varint(len(value), out)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise MarshalError(
+                    f"dict keys must be str, got {type(key).__name__}"
+                )
+            encoded = key.encode("utf-8")
+            _encode_varint(len(encoded), out)
+            out.extend(encoded)
+            _encode(item, out)
+    else:
+        raise MarshalError(f"cannot marshal {type(value).__name__}")
+
+
+def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise MarshalError("truncated message")
+    tag = data[offset]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_INT_POS:
+        return _decode_varint(data, offset)
+    if tag == _T_INT_NEG:
+        value, offset = _decode_varint(data, offset)
+        return -value - 1, offset
+    if tag == _T_FLOAT:
+        if offset + 8 > len(data):
+            raise MarshalError("truncated float")
+        return struct.unpack(">d", data[offset:offset + 8])[0], offset + 8
+    if tag == _T_BYTES:
+        length, offset = _decode_varint(data, offset)
+        if offset + length > len(data):
+            raise MarshalError("truncated bytes")
+        return bytes(data[offset:offset + length]), offset + length
+    if tag == _T_STR:
+        length, offset = _decode_varint(data, offset)
+        if offset + length > len(data):
+            raise MarshalError("truncated string")
+        return data[offset:offset + length].decode("utf-8"), offset + length
+    if tag == _T_LIST:
+        count, offset = _decode_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == _T_DICT:
+        count, offset = _decode_varint(data, offset)
+        result = {}
+        for _ in range(count):
+            key_len, offset = _decode_varint(data, offset)
+            if offset + key_len > len(data):
+                raise MarshalError("truncated dict key")
+            key = data[offset:offset + key_len].decode("utf-8")
+            offset += key_len
+            value, offset = _decode(data, offset)
+            result[key] = value
+        return result, offset
+    raise MarshalError(f"unknown type tag 0x{tag:02x}")
+
+
+def dumps(value: Any) -> bytes:
+    """Marshal *value* to the compact binary wire format."""
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def loads(data: bytes) -> Any:
+    """Unmarshal a value; raises :class:`MarshalError` on trailing junk."""
+    value, offset = _decode(data, 0)
+    if offset != len(data):
+        raise MarshalError(f"{len(data) - offset} trailing bytes")
+    return value
+
+
+def wire_flits(payload: bytes, flit_bytes: int = 8) -> int:
+    """Flits needed to carry *payload* plus the message header."""
+    if flit_bytes < 1:
+        raise MarshalError(f"flit size must be >=1, got {flit_bytes}")
+    total = WIRE_HEADER_BYTES + len(payload)
+    return -(-total // flit_bytes)

@@ -1,0 +1,110 @@
+"""Hardware vs. embedded-software complexity growth.
+
+Section 6: "The growth of hardware complexity in SoC's has tracked
+Moore's law, with a resulting growth of 56% in transistor count per
+year.  However, industry studies show that the complexity of embedded
+S/W is rising at a staggering 140% per year.  In many leading SoC's
+today, the embedded S/W development effort has surpassed that of the
+H/W design effort."  Experiment E7 regenerates those curves and finds
+the crossover year; E4 computes the "1000 RISC processors on a die"
+figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.technology.node import ProcessNode, node
+from repro.technology.scaling import (
+    MOORE_TRANSISTOR_GROWTH,
+    SOFTWARE_COMPLEXITY_GROWTH,
+)
+
+#: Reference year at which the normalized complexity curves are anchored.
+REFERENCE_YEAR = 1997
+
+#: Logic transistors of a compact synthesizable 32-bit RISC core
+#: (ARM7/SH-class integer core, ~25-30K gates * ~4 transistors/gate).
+RISC32_LOGIC_TRANSISTORS = 100_000.0
+
+#: Ratio of SW to HW development effort at the reference year (SW was a
+#: clear minority of SoC effort in the mid-90s).
+SW_HW_EFFORT_RATIO_AT_REFERENCE = 0.10
+
+
+def hw_complexity(year: float, reference_year: float = REFERENCE_YEAR) -> float:
+    """Relative hardware complexity (transistors), 1.0 at the reference."""
+    return (1.0 + MOORE_TRANSISTOR_GROWTH) ** (year - reference_year)
+
+
+def sw_complexity(year: float, reference_year: float = REFERENCE_YEAR) -> float:
+    """Relative embedded-software complexity, 1.0 at the reference."""
+    return (1.0 + SOFTWARE_COMPLEXITY_GROWTH) ** (year - reference_year)
+
+
+def sw_effort(year: float, reference_year: float = REFERENCE_YEAR) -> float:
+    """SW development effort relative to HW effort at the reference.
+
+    Starts at :data:`SW_HW_EFFORT_RATIO_AT_REFERENCE` and compounds at
+    the software complexity growth rate.
+    """
+    return SW_HW_EFFORT_RATIO_AT_REFERENCE * sw_complexity(year, reference_year)
+
+
+def sw_overtakes_hw_year(reference_year: float = REFERENCE_YEAR) -> float:
+    """Year at which SW development effort surpasses HW design effort.
+
+    HW effort is assumed to grow with transistor count divided by
+    (modest) productivity gains; solving
+    ``r0 * (1+g_sw)^t == (1+g_hw_effort)^t`` for t.
+    """
+    # HW design effort grows slower than transistor count thanks to reuse:
+    # net ~20%/year effort growth is the industry rule of thumb.
+    hw_effort_growth = 0.20
+    r0 = SW_HW_EFFORT_RATIO_AT_REFERENCE
+    g_ratio = (1.0 + SOFTWARE_COMPLEXITY_GROWTH) / (1.0 + hw_effort_growth)
+    years = -math.log(r0) / math.log(g_ratio)
+    return reference_year + years
+
+
+def complexity_table(
+    start_year: int = 1997,
+    end_year: int = 2008,
+) -> list[dict[str, float]]:
+    """Year-by-year HW and SW complexity and effort-ratio rows."""
+    rows = []
+    for year in range(start_year, end_year + 1):
+        rows.append(
+            {
+                "year": year,
+                "hw_complexity": hw_complexity(year),
+                "sw_complexity": sw_complexity(year),
+                "sw_over_hw_effort": sw_effort(year) / (1.20 ** (year - REFERENCE_YEAR)),
+            }
+        )
+    return rows
+
+
+def risc_equivalents(
+    transistors: float,
+    core_transistors: float = RISC32_LOGIC_TRANSISTORS,
+) -> float:
+    """How many 32-bit RISC cores the logic budget could hold.
+
+    The paper: "over 100 million transistors — enough to theoretically
+    place the logic of over one thousand 32 bit RISC processors on a
+    die".  100e6 / 100e3 = 1000.
+    """
+    if core_transistors <= 0:
+        raise ValueError(f"core size must be positive, got {core_transistors}")
+    return transistors / core_transistors
+
+
+def risc_equivalents_at_node(
+    process: ProcessNode | str,
+    die_area_mm2: float = 100.0,
+) -> float:
+    """RISC-core equivalents for a full die at a node."""
+    if isinstance(process, str):
+        process = node(process)
+    return risc_equivalents(process.transistors_for_area(die_area_mm2))

@@ -1,0 +1,80 @@
+"""Software licensing vs. silicon cost.
+
+Section 6: "in consumer multimedia SoC products, such as set-top box,
+DVD, and audio, the actual cost of licenses and royalties for the
+application S/W (O/S, audio and video licenses) largely exceeds the
+chip manufacturing cost in many applications."  This module models a
+per-unit license stack against the manufactured die cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.technology.node import ProcessNode, node
+from repro.technology.yieldmodel import die_cost_usd
+
+
+@dataclass(frozen=True)
+class LicenseItem:
+    """One per-unit royalty line item."""
+
+    name: str
+    royalty_usd: float
+
+    def __post_init__(self) -> None:
+        if self.royalty_usd < 0:
+            raise ValueError(f"negative royalty for {self.name!r}")
+
+
+@dataclass(frozen=True)
+class LicenseStack:
+    """A bundle of per-unit software licenses and royalties."""
+
+    name: str
+    items: tuple[LicenseItem, ...] = field(default_factory=tuple)
+
+    @property
+    def per_unit_usd(self) -> float:
+        """Total royalty paid per manufactured unit."""
+        return sum(item.royalty_usd for item in self.items)
+
+    def breakdown(self) -> dict[str, float]:
+        return {item.name: item.royalty_usd for item in self.items}
+
+
+#: A typical early-2000s consumer multimedia (set-top box / DVD) stack:
+#: MPEG-2/4 video, Dolby + MP3 audio, CSS/CA security, embedded OS + stack.
+CONSUMER_MULTIMEDIA_STACK = LicenseStack(
+    name="consumer_multimedia",
+    items=(
+        LicenseItem("mpeg_video_codec", 2.50),
+        LicenseItem("dolby_audio", 1.00),
+        LicenseItem("mp3_audio", 0.75),
+        LicenseItem("content_security", 1.25),
+        LicenseItem("embedded_os", 1.50),
+        LicenseItem("middleware_stack", 1.00),
+    ),
+)
+
+
+def license_vs_silicon(
+    process: ProcessNode | str,
+    die_area_mm2: float = 60.0,
+    stack: LicenseStack = CONSUMER_MULTIMEDIA_STACK,
+    package_test_usd: float = 1.0,
+) -> dict[str, float]:
+    """Compare per-unit license cost to per-unit silicon cost.
+
+    Returns the ratio the paper claims exceeds 1.0 for consumer
+    multimedia.
+    """
+    if isinstance(process, str):
+        process = node(process)
+    silicon = die_cost_usd(process, die_area_mm2) + package_test_usd
+    licenses = stack.per_unit_usd
+    return {
+        "silicon_cost_usd": silicon,
+        "license_cost_usd": licenses,
+        "license_over_silicon": licenses / silicon,
+    }

@@ -1,0 +1,54 @@
+"""MultiFlex-style application-to-platform mapping tools.
+
+Section 5.3 of the paper calls for tools that "explore this mapping
+process, and assist and automate optimization where possible" — closing
+the "abstraction grand canyon" between system specification and MP-SoC
+platforms.  This package provides:
+
+* :mod:`repro.mapping.taskgraph` — application task graphs with
+  per-processor-class affinities and communication volumes;
+* :mod:`repro.mapping.mapper` — constructive heuristics (round-robin,
+  greedy load balance, communication-aware greedy);
+* :mod:`repro.mapping.anneal` — a simulated-annealing refinement pass;
+* :mod:`repro.mapping.evaluate` — the analytic cost model (makespan via
+  list scheduling + NoC-distance-weighted communication);
+* :mod:`repro.mapping.dse` — design-space exploration sweeps with
+  Pareto extraction.
+"""
+
+from repro.mapping.taskgraph import (
+    Task,
+    TaskGraph,
+    layered_random_graph,
+    pipeline_graph,
+    fork_join_graph,
+)
+from repro.mapping.mapper import (
+    Mapping,
+    communication_aware_map,
+    greedy_load_balance_map,
+    random_map,
+    round_robin_map,
+)
+from repro.mapping.anneal import anneal_map
+from repro.mapping.evaluate import MappingCost, evaluate_mapping
+from repro.mapping.dse import DesignPoint, explore, pareto_points
+
+__all__ = [
+    "DesignPoint",
+    "Mapping",
+    "MappingCost",
+    "Task",
+    "TaskGraph",
+    "anneal_map",
+    "communication_aware_map",
+    "evaluate_mapping",
+    "explore",
+    "fork_join_graph",
+    "greedy_load_balance_map",
+    "layered_random_graph",
+    "pareto_points",
+    "pipeline_graph",
+    "random_map",
+    "round_robin_map",
+]

@@ -1,0 +1,151 @@
+"""Design-space exploration.
+
+Sweeps (platform configuration x mapper) over a task graph and extracts
+the Pareto-efficient points — the "rapid exploration and optimization"
+loop of Section 7.2.  Platform configurations vary PE count, the PE
+kind mix, and the NoC topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.mapping.anneal import anneal_map
+from repro.mapping.evaluate import (
+    MappingCost,
+    PlatformModel,
+    evaluate_mapping,
+)
+from repro.mapping.mapper import MAPPERS, run_mapper
+from repro.mapping.taskgraph import TaskGraph
+from repro.noc.topology import TopologyKind, make_topology
+from repro.platform.spec import PE_BASE_TRANSISTORS, PE_TRANSISTORS_PER_THREAD
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated (platform, mapper) combination."""
+
+    num_pes: int
+    topology: str
+    pe_mix: str
+    mapper: str
+    cost: MappingCost
+    area_proxy: float   # transistor-count proxy for the PE array + NoC
+
+    def objectives(self) -> tuple[float, float]:
+        """(makespan, area) — the two axes Pareto extraction uses."""
+        return self.cost.makespan_cycles, self.area_proxy
+
+
+def make_platform_model(
+    num_pes: int,
+    topology: TopologyKind | str = TopologyKind.MESH,
+    dsp_fraction: float = 0.0,
+    asip_fraction: float = 0.0,
+) -> PlatformModel:
+    """A PlatformModel with a given heterogeneous PE mix."""
+    if num_pes < 1:
+        raise ValueError(f"need >=1 PE, got {num_pes}")
+    if dsp_fraction + asip_fraction > 1.0 + 1e-9:
+        raise ValueError("PE-mix fractions exceed 1.0")
+    if isinstance(topology, str):
+        topology = TopologyKind(topology)
+    num_dsp = int(round(num_pes * dsp_fraction))
+    num_asip = int(round(num_pes * asip_fraction))
+    kinds = (
+        ["dsp"] * num_dsp
+        + ["asip"] * num_asip
+        + ["gp_risc"] * (num_pes - num_dsp - num_asip)
+    )
+    # Some topologies need a minimum size (ring/torus); extra terminals
+    # beyond num_pes are simply left unused.
+    return PlatformModel(
+        pe_kinds=kinds,
+        topology=make_topology(topology, max(3, num_pes)),
+    )
+
+
+def area_proxy(num_pes: int, topology_cost: float) -> float:
+    """Transistor-count proxy: PE array + NoC wiring cost."""
+    pe_tx = num_pes * (PE_BASE_TRANSISTORS + 4 * PE_TRANSISTORS_PER_THREAD)
+    return pe_tx + 2000.0 * topology_cost
+
+
+def explore(
+    graph: TaskGraph,
+    pe_counts: Sequence[int] = (4, 8, 16),
+    topologies: Sequence[TopologyKind] = (
+        TopologyKind.MESH,
+        TopologyKind.FAT_TREE,
+        TopologyKind.RING,
+    ),
+    mappers: Optional[Iterable[str]] = None,
+    include_annealing: bool = False,
+    dsp_fraction: float = 0.25,
+) -> List[DesignPoint]:
+    """Full-factorial sweep; returns every evaluated design point."""
+    mapper_names = list(mappers) if mappers is not None else sorted(MAPPERS)
+    points: List[DesignPoint] = []
+    for num_pes in pe_counts:
+        for topology in topologies:
+            platform = make_platform_model(
+                num_pes, topology, dsp_fraction=dsp_fraction
+            )
+            area = area_proxy(num_pes, platform.topology.wiring_cost())
+            for mapper_name in mapper_names:
+                mapping = run_mapper(mapper_name, graph, platform)
+                cost = evaluate_mapping(
+                    graph, platform, mapping, mapper_name=mapper_name
+                )
+                points.append(
+                    DesignPoint(
+                        num_pes=num_pes,
+                        topology=topology.value,
+                        pe_mix=f"dsp{dsp_fraction:.0%}",
+                        mapper=mapper_name,
+                        cost=cost,
+                        area_proxy=area,
+                    )
+                )
+            if include_annealing:
+                mapping = anneal_map(graph, platform, iterations=500)
+                cost = evaluate_mapping(
+                    graph, platform, mapping, mapper_name="anneal"
+                )
+                points.append(
+                    DesignPoint(
+                        num_pes=num_pes,
+                        topology=topology.value,
+                        pe_mix=f"dsp{dsp_fraction:.0%}",
+                        mapper="anneal",
+                        cost=cost,
+                        area_proxy=area,
+                    )
+                )
+    return points
+
+
+def pareto_points(points: Iterable[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated points on (makespan, area) — both minimized."""
+    points = list(points)
+    front: List[DesignPoint] = []
+    for point in points:
+        makespan, area = point.objectives()
+        dominated = False
+        for other in points:
+            if other is point:
+                continue
+            o_makespan, o_area = other.objectives()
+            if (
+                o_makespan <= makespan
+                and o_area <= area
+                and (o_makespan < makespan or o_area < area)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(point)
+    front.sort(key=lambda p: p.objectives())
+    return front

@@ -1,0 +1,122 @@
+"""Memory technology descriptors.
+
+Era-typical (130/90 nm) figures for the four options the paper weighs:
+embedded SRAM (fast, power-hungry, 6T-large), embedded DRAM (denser,
+slower, refresh), embedded Flash (non-volatile, slow writes — the
+paper's Section 8 cites an application-specific eFlash subsystem for
+code, data and eFPGA bitstreams), and external DRAM (cheapest per bit,
+but paying the off-chip pin crossing in latency, power and I/O).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """Cost/performance figures for one memory option.
+
+    Attributes
+    ----------
+    name:
+        Technology label.
+    area_mm2_per_mb:
+        Silicon area per megabyte (on-chip options; for external memory
+        this is the *on-chip controller+PHY* area amortized per MB).
+    read_latency_cycles / write_latency_cycles:
+        Access latency in SoC clock cycles at a 500 MHz reference.
+    energy_pj_per_byte_read / energy_pj_per_byte_write:
+        Access energy.
+    static_mw_per_mb:
+        Standby power (refresh for DRAM, leakage for SRAM).
+    cost_usd_per_mb:
+        Incremental manufacturing cost per MB.
+    non_volatile:
+        Retains contents without power.
+    on_chip:
+        Lives on the SoC die.
+    endurance_writes:
+        Write-cycle endurance (inf for RAM).
+    """
+
+    name: str
+    area_mm2_per_mb: float
+    read_latency_cycles: float
+    write_latency_cycles: float
+    energy_pj_per_byte_read: float
+    energy_pj_per_byte_write: float
+    static_mw_per_mb: float
+    cost_usd_per_mb: float
+    non_volatile: bool
+    on_chip: bool
+    endurance_writes: float = float("inf")
+
+    def access_latency(self, write: bool = False) -> float:
+        return self.write_latency_cycles if write else self.read_latency_cycles
+
+    def access_energy_pj(self, bytes_accessed: int, write: bool = False) -> float:
+        if bytes_accessed < 0:
+            raise ValueError(f"negative access size {bytes_accessed}")
+        per_byte = (
+            self.energy_pj_per_byte_write if write else self.energy_pj_per_byte_read
+        )
+        return per_byte * bytes_accessed
+
+
+ESRAM = MemoryTechnology(
+    name="esram",
+    area_mm2_per_mb=3.0,
+    read_latency_cycles=2.0,
+    write_latency_cycles=2.0,
+    energy_pj_per_byte_read=2.0,
+    energy_pj_per_byte_write=2.2,
+    static_mw_per_mb=6.0,
+    cost_usd_per_mb=1.20,
+    non_volatile=False,
+    on_chip=True,
+)
+
+EDRAM = MemoryTechnology(
+    name="edram",
+    area_mm2_per_mb=1.0,
+    read_latency_cycles=8.0,
+    write_latency_cycles=8.0,
+    energy_pj_per_byte_read=4.0,
+    energy_pj_per_byte_write=4.5,
+    static_mw_per_mb=2.5,     # dominated by refresh
+    cost_usd_per_mb=0.55,     # denser, but extra process steps
+    non_volatile=False,
+    on_chip=True,
+)
+
+EFLASH = MemoryTechnology(
+    name="eflash",
+    area_mm2_per_mb=1.6,
+    read_latency_cycles=6.0,
+    write_latency_cycles=5000.0,   # program/erase is millisecond-class
+    energy_pj_per_byte_read=3.0,
+    energy_pj_per_byte_write=300.0,
+    static_mw_per_mb=0.01,
+    cost_usd_per_mb=0.90,
+    non_volatile=True,
+    on_chip=True,
+    endurance_writes=100_000.0,
+)
+
+EXTERNAL_DRAM = MemoryTechnology(
+    name="external_dram",
+    area_mm2_per_mb=0.05,          # controller + PHY amortized
+    read_latency_cycles=60.0,      # pin crossing + DRAM core
+    write_latency_cycles=60.0,
+    energy_pj_per_byte_read=40.0,  # I/O drivers dominate
+    energy_pj_per_byte_write=42.0,
+    static_mw_per_mb=0.8,
+    cost_usd_per_mb=0.08,          # commodity pricing
+    non_volatile=False,
+    on_chip=False,
+)
+
+MEMORY_TECHNOLOGIES: dict[str, MemoryTechnology] = {
+    t.name: t for t in (ESRAM, EDRAM, EFLASH, EXTERNAL_DRAM)
+}

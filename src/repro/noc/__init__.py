@@ -1,0 +1,62 @@
+"""Network-on-chip simulator.
+
+Section 6.1 of the paper advocates networks-on-chip as the MP-SoC
+interconnect and notes that "there is still much remaining work to be
+done to characterize the various topologies — ranging from bus, ring,
+tree to full-crossbar — and their effectiveness for different
+application domains".  This package does that characterization:
+
+* :mod:`repro.noc.topology` — builders for bus, ring, mesh, torus,
+  binary tree, SPIN-style fat tree, full crossbar and star topologies;
+* :mod:`repro.noc.routing` — deterministic minimal routing tables;
+* :mod:`repro.noc.network` — the event-driven cut-through network model
+  with per-link serialization (contention and saturation are emergent);
+* :mod:`repro.noc.traffic` — synthetic traffic patterns (uniform,
+  transpose, bit-complement, hotspot, neighbour);
+* :mod:`repro.noc.metrics` — latency/throughput measurement;
+* :mod:`repro.noc.ocp` — an OCP-IP-style request/response socket layer
+  used by the processor and DSOC runtimes.
+"""
+
+from repro.noc.packet import Packet
+from repro.noc.topology import (
+    Topology,
+    TopologyKind,
+    bus,
+    crossbar,
+    fat_tree,
+    make_topology,
+    mesh,
+    ring,
+    star,
+    torus,
+    tree,
+)
+from repro.noc.routing import RoutingTable, build_routing
+from repro.noc.link import Link
+from repro.noc.network import Network
+from repro.noc.traffic import TrafficGenerator, TrafficPattern
+from repro.noc.metrics import NocMetrics, simulate_traffic
+
+__all__ = [
+    "Link",
+    "Network",
+    "NocMetrics",
+    "Packet",
+    "RoutingTable",
+    "Topology",
+    "TopologyKind",
+    "TrafficGenerator",
+    "TrafficPattern",
+    "build_routing",
+    "bus",
+    "crossbar",
+    "fat_tree",
+    "make_topology",
+    "mesh",
+    "ring",
+    "simulate_traffic",
+    "star",
+    "torus",
+    "tree",
+]

@@ -1,0 +1,124 @@
+"""Deterministic minimal routing with equal-cost path spreading.
+
+Routing tables are precomputed with breadth-first search.  Where several
+minimal next hops exist (fat trees, tori, crossbars), the table keeps
+them all and spreads *flows* across them with a deterministic hash of
+(source, destination), i.e. per-flow ECMP: a given terminal pair always
+uses the same path (preserving in-order delivery) while aggregate
+traffic uses the full bisection — the property SPIN-style fat trees are
+built for.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.noc.topology import Topology
+
+#: Knuth multiplicative hash constant for flow spreading.
+_HASH_MULT = 2654435761
+
+
+def _flow_hash(flow: int, node: int, dst: int) -> int:
+    value = (flow * _HASH_MULT) ^ (node * 40503) ^ (dst * 65599)
+    return (value >> 4) & 0x7FFFFFFF
+
+
+@dataclass
+class RoutingTable:
+    """Minimal next-hop choice sets for every (router, destination)."""
+
+    topology: Topology
+    next_hops: List[List[List[int]]]  # next_hops[router][dst] -> choices
+    distance: List[List[int]]         # hop counts
+
+    def route(self, src_router: int, dst_router: int, flow: int = 0) -> List[int]:
+        """Full router path, inclusive; *flow* selects among ECMP paths."""
+        if src_router == dst_router:
+            return [src_router]
+        path = [src_router]
+        current = src_router
+        limit = self.topology.num_routers + 1
+        while current != dst_router:
+            choices = self.next_hops[current][dst_router]
+            if not choices:
+                raise ValueError(
+                    f"no route from router {src_router} to {dst_router}"
+                )
+            nxt = choices[_flow_hash(flow, current, dst_router) % len(choices)]
+            path.append(nxt)
+            current = nxt
+            if len(path) > limit:  # pragma: no cover - defensive
+                raise RuntimeError("routing loop detected")
+        return path
+
+    def next_hop_choices(self, router: int, dst_router: int) -> List[int]:
+        """All minimal next hops from *router* toward *dst_router*."""
+        return list(self.next_hops[router][dst_router])
+
+    def hops(self, src_router: int, dst_router: int) -> int:
+        """Hop count between two routers (0 when identical)."""
+        d = self.distance[src_router][dst_router]
+        if d < 0:
+            raise ValueError(f"routers {src_router},{dst_router} disconnected")
+        return d
+
+    def average_distance(self) -> float:
+        """Mean hop distance over distinct terminal attachment pairs."""
+        topo = self.topology
+        total = 0
+        count = 0
+        for src_t in range(topo.num_terminals):
+            for dst_t in range(topo.num_terminals):
+                if src_t == dst_t:
+                    continue
+                total += self.distance[topo.terminal_router[src_t]][
+                    topo.terminal_router[dst_t]
+                ]
+                count += 1
+        return total / count if count else 0.0
+
+    def diameter(self) -> int:
+        """Maximum finite hop distance in the router graph."""
+        return max(d for row in self.distance for d in row if d >= 0)
+
+    def path_diversity(self, src_router: int, dst_router: int) -> int:
+        """Number of minimal first hops (ECMP width at the source)."""
+        if src_router == dst_router:
+            return 0
+        return len(self.next_hops[src_router][dst_router])
+
+
+def build_routing(topology: Topology) -> RoutingTable:
+    """BFS all-pairs minimal routing keeping every equal-cost next hop."""
+    n = topology.num_routers
+    rev: Dict[int, List[int]] = {r: [] for r in range(n)}
+    for u, v in topology.edges:
+        rev[v].append(u)
+    for r in rev:
+        rev[r] = sorted(rev[r])
+    next_hops: List[List[List[int]]] = [
+        [[] for _ in range(n)] for _ in range(n)
+    ]
+    distance = [[-1] * n for _ in range(n)]
+    for dst in range(n):
+        dist: List[Optional[int]] = [None] * n
+        dist[dst] = 0
+        queue = deque([dst])
+        while queue:
+            node = queue.popleft()
+            for prev in rev[node]:
+                if dist[prev] is None:
+                    dist[prev] = dist[node] + 1
+                    next_hops[prev][dst].append(node)
+                    queue.append(prev)
+                elif dist[prev] == dist[node] + 1:
+                    next_hops[prev][dst].append(node)
+        for r in range(n):
+            distance[r][dst] = -1 if dist[r] is None else dist[r]
+            next_hops[r][dst].sort()
+    return RoutingTable(
+        topology=topology, next_hops=next_hops, distance=distance
+    )

@@ -1,0 +1,135 @@
+"""Synthetic NoC traffic patterns and generators.
+
+The standard patterns of the NoC literature, used by experiment E10 to
+characterize topologies "for different application domains": uniform
+random (general-purpose), transpose and bit-complement (adversarial,
+FFT/corner-turn-like), hotspot (shared memory controller), and nearest
+neighbour (pipelined signal processing).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.sim.core import Simulator, Timeout
+from repro.sim.rng import RandomStreams
+
+
+class TrafficPattern(Enum):
+    """Destination-selection policies."""
+
+    UNIFORM = "uniform"
+    TRANSPOSE = "transpose"
+    BIT_COMPLEMENT = "bit_complement"
+    HOTSPOT = "hotspot"
+    NEIGHBOR = "neighbor"
+
+    def destination(
+        self,
+        src: int,
+        terminals: int,
+        rng,
+        hotspot: int = 0,
+        hotspot_fraction: float = 0.5,
+    ) -> int:
+        """Pick a destination terminal for a packet from *src*."""
+        if self is TrafficPattern.UNIFORM:
+            dst = rng.randrange(terminals - 1)
+            return dst if dst < src else dst + 1
+        if self is TrafficPattern.TRANSPOSE:
+            bits = max(1, (terminals - 1).bit_length())
+            half = bits // 2
+            if half == 0:
+                return (src + 1) % terminals
+            lo = src & ((1 << half) - 1)
+            hi = src >> half
+            dst = (lo << (bits - half)) | hi
+            dst %= terminals
+            return dst if dst != src else (src + 1) % terminals
+        if self is TrafficPattern.BIT_COMPLEMENT:
+            bits = max(1, (terminals - 1).bit_length())
+            dst = (~src) & ((1 << bits) - 1)
+            dst %= terminals
+            return dst if dst != src else (src + 1) % terminals
+        if self is TrafficPattern.HOTSPOT:
+            if rng.random() < hotspot_fraction and src != hotspot:
+                return hotspot
+            dst = rng.randrange(terminals - 1)
+            return dst if dst < src else dst + 1
+        if self is TrafficPattern.NEIGHBOR:
+            return (src + 1) % terminals
+        raise ValueError(f"unhandled pattern {self}")  # pragma: no cover
+
+
+class TrafficGenerator:
+    """Open-loop packet injection at a fixed offered load.
+
+    Parameters
+    ----------
+    network:
+        Target network.
+    pattern:
+        Destination-selection policy.
+    offered_load:
+        Flits per terminal per cycle (0 < load <= injection bandwidth).
+    packet_size:
+        Flits per packet.
+    streams:
+        Seeded RNG factory; each terminal gets its own stream.
+    warmup:
+        Packets injected before *measure_from* are excluded from latency
+        statistics by the metrics layer (they still load the network).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        pattern: TrafficPattern,
+        offered_load: float,
+        packet_size: int = 4,
+        streams: Optional[RandomStreams] = None,
+        hotspot: int = 0,
+        hotspot_fraction: float = 0.5,
+    ) -> None:
+        if offered_load <= 0:
+            raise ValueError(f"offered load must be positive, got {offered_load}")
+        if packet_size < 1:
+            raise ValueError(f"packet size must be >=1, got {packet_size}")
+        self.network = network
+        self.pattern = pattern
+        self.offered_load = offered_load
+        self.packet_size = packet_size
+        self.streams = streams or RandomStreams(seed=1)
+        self.hotspot = hotspot
+        self.hotspot_fraction = hotspot_fraction
+        self.sent: List[Packet] = []
+
+    def start(self, duration: float) -> None:
+        """Spawn one injection process per terminal for *duration* cycles."""
+        sim = self.network.sim
+        terminals = self.network.topology.num_terminals
+        mean_gap = self.packet_size / self.offered_load
+        for t in range(terminals):
+            rng = self.streams.get(f"traffic.{t}")
+            sim.spawn(
+                self._inject(sim, t, terminals, mean_gap, duration, rng),
+                name=f"traffic-{t}",
+            )
+
+    def _inject(self, sim: Simulator, src: int, terminals: int, mean_gap: float,
+                duration: float, rng):
+        end = sim.now + duration
+        while True:
+            gap = rng.expovariate(1.0 / mean_gap)
+            yield Timeout(gap)
+            if sim.now >= end:
+                return
+            dst = self.pattern.destination(
+                src, terminals, rng, self.hotspot, self.hotspot_fraction
+            )
+            packet = Packet(src=src, dst=dst, size_flits=self.packet_size)
+            self.sent.append(packet)
+            self.network.send(packet)

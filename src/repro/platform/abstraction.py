@@ -1,0 +1,176 @@
+"""The four abstraction levels of SoC design (Section 3).
+
+The paper's first paradigm change: "SoC design will become divided into
+four mostly non-overlapping distinct abstraction levels", each with its
+own competences and tools.  This module encodes the levels as data and
+provides the overlap check that quantifies "mostly non-overlapping".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+@dataclass(frozen=True)
+class AbstractionLevel:
+    """One of the four levels.
+
+    Attributes
+    ----------
+    number:
+        1 (highest, application) .. 4 (lowest, technology).
+    name:
+        The paper's name for the level.
+    actors:
+        Who works at this level.
+    artifacts:
+        What they produce.
+    competences:
+        Skills required (used by the overlap metric).
+    tools:
+        Design-automation tool families needed.
+    designs_hardware:
+        Whether any hardware design happens at this level.
+    """
+
+    number: int
+    name: str
+    actors: str
+    artifacts: tuple[str, ...]
+    competences: FrozenSet[str]
+    tools: tuple[str, ...]
+    designs_hardware: bool
+
+
+ABSTRACTION_LEVELS: dict[int, AbstractionLevel] = {
+    lvl.number: lvl
+    for lvl in [
+        AbstractionLevel(
+            number=1,
+            name="system application design",
+            actors="application specialists",
+            artifacts=("embedded software", "algorithms", "platform configurations"),
+            competences=frozenset(
+                {
+                    "domain algorithms",
+                    "software engineering",
+                    "modeling",
+                    "parallel programming",
+                }
+            ),
+            tools=(
+                "matlab-class modeling",
+                "sdl/esterel specification",
+                "dataflow simulators",
+                "software ide",
+            ),
+            designs_hardware=False,
+        ),
+        AbstractionLevel(
+            number=2,
+            name="mp-soc platform design",
+            actors="platform architects",
+            artifacts=(
+                "platform configurations",
+                "ip assemblies",
+                "programming model bindings",
+            ),
+            competences=frozenset(
+                {
+                    "architecture exploration",
+                    "performance analysis",
+                    "ip integration",
+                    "parallel programming",
+                }
+            ),
+            tools=(
+                "mapping/exploration tools",
+                "tlm co-simulation",
+                "noc configurators",
+            ),
+            designs_hardware=False,
+        ),
+        AbstractionLevel(
+            number=3,
+            name="high-level ip block design",
+            actors="ip designers",
+            artifacts=(
+                "embedded processors",
+                "noc interconnect",
+                "standard i/o blocks",
+                "standard-function hw ip",
+            ),
+            competences=frozenset(
+                {
+                    "rtl design",
+                    "verification",
+                    "processor microarchitecture",
+                    "ip integration",
+                }
+            ),
+            tools=("hdl simulators", "synthesis", "formal verification", "dft"),
+            designs_hardware=True,
+        ),
+        AbstractionLevel(
+            number=4,
+            name="semiconductor technology and basic ip",
+            actors="technology and library teams",
+            artifacts=("standard cells", "memories", "i/o pads", "process kits"),
+            competences=frozenset(
+                {
+                    "device physics",
+                    "circuit design",
+                    "signal integrity",
+                    "verification",
+                }
+            ),
+            tools=("spice", "library characterization", "physical verification"),
+            designs_hardware=True,
+        ),
+    ]
+}
+
+
+def level(number: int) -> AbstractionLevel:
+    """Look up a level by number (1-4)."""
+    if number not in ABSTRACTION_LEVELS:
+        raise KeyError(f"abstraction level must be 1..4, got {number}")
+    return ABSTRACTION_LEVELS[number]
+
+
+def competence_overlap(a: int, b: int) -> float:
+    """Jaccard overlap of the competence sets of two levels.
+
+    The paper's "mostly non-overlapping" claim means this should be
+    small (but not zero — adjacent levels share a bridging skill).
+    """
+    la, lb = level(a), level(b)
+    union = la.competences | lb.competences
+    if not union:
+        return 0.0
+    return len(la.competences & lb.competences) / len(union)
+
+
+def max_pairwise_overlap() -> float:
+    """Largest overlap between any two distinct levels."""
+    numbers = sorted(ABSTRACTION_LEVELS)
+    return max(
+        competence_overlap(a, b)
+        for i, a in enumerate(numbers)
+        for b in numbers[i + 1:]
+    )
+
+
+def hardware_design_levels() -> list[int]:
+    """Levels at which hardware is actually designed.
+
+    Per Section 3, "no hardware design is done" at level 1 and "as a
+    rule, no IP design is done" at level 2 — only levels 3 and 4
+    design hardware.
+    """
+    return [
+        number
+        for number, lvl in sorted(ABSTRACTION_LEVELS.items())
+        if lvl.designs_hardware
+    ]

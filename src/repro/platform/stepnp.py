@@ -1,0 +1,65 @@
+"""StepNP platform configurations.
+
+StepNP is "a System-Level Exploration Platform for Network Processors"
+[Paulin et al. 2002], the reference platform of the paper's Section 7:
+configurable multithreaded processors, a network-on-chip, reconfigurable
+and standard hardware, and communication-oriented I/O.  These builders
+produce the spec of Figure 2 at several scales; experiment E14 runs the
+IPv4 fast path on them.
+"""
+
+from __future__ import annotations
+
+from repro.noc.topology import TopologyKind
+from repro.platform.spec import IoSpec, MemorySpec, PeSpec, PlatformSpec
+from repro.processors.classes import ProcessorKind
+from repro.processors.hwip import VITERBI
+
+
+def stepnp_spec(
+    num_pes: int = 16,
+    threads: int = 8,
+    topology: TopologyKind | str = TopologyKind.FAT_TREE,
+    clock_ghz: float = 0.5,
+    efpga_luts: int = 20_000,
+    line_interfaces: int = 1,
+) -> PlatformSpec:
+    """Build a StepNP-style networking platform spec.
+
+    Defaults follow the paper's large-scale experiment: 16 configurable
+    PEs with 8 hardware threads each, a SPIN-style fat-tree NoC, an
+    eFPGA tile, on-chip SRAM for the forwarding table, and a 10 Gbit/s
+    line interface (SPI-4).
+    """
+    if num_pes < 1:
+        raise ValueError(f"need >=1 PE, got {num_pes}")
+    if isinstance(topology, str):
+        topology = TopologyKind(topology)
+    return PlatformSpec(
+        name=f"stepnp-{num_pes}pe-{threads}t",
+        pes=[
+            PeSpec(
+                kind=ProcessorKind.CONFIGURABLE_PROCESSOR,
+                count=num_pes,
+                threads=threads,
+                clock_ghz=clock_ghz,
+            )
+        ],
+        topology=topology,
+        memories=[
+            MemorySpec(technology="esram", capacity_mb=2.0),
+            MemorySpec(technology="external_dram", capacity_mb=256.0),
+        ],
+        hw_ips=[VITERBI],
+        ios=[IoSpec(family="spi4", count=line_interfaces)],
+        efpga_luts=efpga_luts,
+    )
+
+
+#: A half-dozen-processor consumer-scale instance (the paper notes
+#: current-generation consumer platforms "already include over a
+#: half-dozen processors").
+STEPNP_SMALL = stepnp_spec(num_pes=6, threads=4, topology=TopologyKind.MESH)
+
+#: The large networking instance of Section 7.2's IPv4 demonstration.
+STEPNP_LARGE = stepnp_spec(num_pes=16, threads=8)

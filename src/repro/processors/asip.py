@@ -1,0 +1,96 @@
+"""Application-specific instruction-set processor (ASIP) model.
+
+The paper names ASIPs and configurable processors (Arc, Tensilica) as
+the middle of the Figure-1 spectrum: "one possible means to achieve
+processor specialization from a RISC-based platform".  The model
+follows the configurable-processor methodology: start from a base RISC
+CPI, add custom instructions that collapse multi-instruction patterns
+of the target kernels, pay for each in area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Specialization:
+    """One custom-instruction extension.
+
+    Attributes
+    ----------
+    name:
+        Instruction (cluster) name, e.g. ``"checksum16"``.
+    pattern_length:
+        Base-ISA instructions the custom instruction replaces.
+    coverage:
+        Fraction of the target workload's dynamic instructions that
+        belong to this pattern.
+    area_gates:
+        Extra gates the extension costs.
+    """
+
+    name: str
+    pattern_length: int
+    coverage: float
+    area_gates: float
+
+    def __post_init__(self) -> None:
+        if self.pattern_length < 2:
+            raise ValueError(
+                f"{self.name}: pattern must collapse >=2 instructions"
+            )
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError(f"{self.name}: coverage must be in (0,1]")
+        if self.area_gates < 0:
+            raise ValueError(f"{self.name}: negative area")
+
+
+@dataclass
+class AsipModel:
+    """A RISC core extended with custom instructions.
+
+    Speedup per Amdahl: workload fraction ``coverage`` runs
+    ``pattern_length`` times faster (the pattern issues as one
+    instruction).  Extensions' coverages must not overlap (sum <= 1).
+    """
+
+    name: str = "asip"
+    base_cpi: float = 1.3
+    base_gates: float = 30_000.0
+    clock_mhz: float = 400.0
+    extensions: Dict[str, Specialization] = field(default_factory=dict)
+
+    def add_extension(self, ext: Specialization) -> None:
+        """Add a custom instruction; rejects overlapping coverage."""
+        total = sum(e.coverage for e in self.extensions.values()) + ext.coverage
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                f"extension coverages sum to {total:.2f} > 1.0 — "
+                "patterns must partition the workload"
+            )
+        if ext.name in self.extensions:
+            raise ValueError(f"duplicate extension {ext.name!r}")
+        self.extensions[ext.name] = ext
+
+    def speedup(self) -> float:
+        """Workload speedup vs. the unextended base core (Amdahl)."""
+        remaining = 1.0
+        accelerated = 0.0
+        for ext in self.extensions.values():
+            remaining -= ext.coverage
+            accelerated += ext.coverage / ext.pattern_length
+        return 1.0 / (remaining + accelerated)
+
+    def total_gates(self) -> float:
+        """Core gates including extensions."""
+        return self.base_gates + sum(e.area_gates for e in self.extensions.values())
+
+    def efficiency_gain(self) -> Tuple[float, float]:
+        """(speedup, area ratio) vs. the base core — the ASIP tradeoff."""
+        return self.speedup(), self.total_gates() / self.base_gates
+
+    def mips(self) -> float:
+        """Millions of (base-equivalent) instructions per second."""
+        return self.clock_mhz / self.base_cpi * self.speedup()

@@ -1,0 +1,145 @@
+"""Standard I/O component families.
+
+Section 6.4: "Increasing standardization of I/O's for different market
+spaces will leave a dozen main I/O families: e.g. PCI evolutions,
+RapidIO, HyperTransport, SPI-x, USB, FireWire, QDR, etc.  Their
+integration into the SoC will be facilitated by the network-on-chip's
+standardized protocol and scalability."  An :class:`IoBlock` describes
+one family and can bridge external line traffic into the NoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.noc.network import Network
+from repro.noc.packet import Packet
+from repro.sim.core import Simulator, Timeout
+
+
+@dataclass(frozen=True)
+class IoBlock:
+    """One standard I/O interface family.
+
+    Attributes
+    ----------
+    name:
+        Family name.
+    bandwidth_gbps:
+        Peak line rate.
+    latency_ns:
+        Interface latency.
+    gates:
+        Controller logic complexity.
+    market:
+        The application space the paper associates with the family.
+    """
+
+    name: str
+    bandwidth_gbps: float
+    latency_ns: float
+    gates: float
+    market: str
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+
+    def bytes_per_cycle(self, clock_ghz: float) -> float:
+        """Payload bytes deliverable per SoC clock cycle."""
+        if clock_ghz <= 0:
+            raise ValueError(f"clock must be positive, got {clock_ghz}")
+        return self.bandwidth_gbps / 8.0 / clock_ghz
+
+    def packet_interarrival_cycles(
+        self, packet_bytes: int, clock_ghz: float
+    ) -> float:
+        """Cycles between back-to-back packets at full line rate.
+
+        This is the worst-case arrival process of experiment E14: 40-byte
+        packets on a 10 Gbit/s interface at a 500 MHz SoC clock arrive
+        every 16 cycles.
+        """
+        if packet_bytes < 1:
+            raise ValueError(f"packet must be >=1 byte, got {packet_bytes}")
+        return packet_bytes / self.bytes_per_cycle(clock_ghz)
+
+
+#: The paper's "dozen main I/O families" with era-typical figures.
+STANDARD_IO_FAMILIES: dict[str, IoBlock] = {
+    b.name: b
+    for b in [
+        IoBlock("pci", 1.06, 120.0, 40_000, "general"),
+        IoBlock("pci_x", 8.5, 100.0, 70_000, "general"),
+        IoBlock("rapidio", 10.0, 60.0, 120_000, "communications"),
+        IoBlock("hypertransport", 12.8, 50.0, 150_000, "computing"),
+        IoBlock("spi4", 10.0, 40.0, 90_000, "networking line cards"),
+        IoBlock("usb2", 0.48, 400.0, 25_000, "consumer"),
+        IoBlock("firewire", 0.8, 250.0, 30_000, "consumer av"),
+        IoBlock("qdr_sram", 16.0, 20.0, 60_000, "network memory"),
+        IoBlock("i2c", 0.0004, 10_000.0, 2_000, "control"),
+        IoBlock("utopia", 0.622, 90.0, 35_000, "atm"),
+        IoBlock("gmii", 1.0, 80.0, 30_000, "ethernet"),
+        IoBlock("xaui", 10.0, 50.0, 110_000, "10g ethernet"),
+    ]
+}
+
+
+class LineInterface:
+    """Bridges an external line onto NoC terminals.
+
+    Generates packet-arrival events at line rate and injects NoC
+    packets toward a dispatcher terminal — the ingress path of the
+    StepNP networking platform (Figure 2).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        io_block: IoBlock,
+        terminal: int,
+        clock_ghz: float,
+        packet_bytes: int = 40,
+        flit_bytes: int = 8,
+        payload_factory: Optional[Callable[[int], object]] = None,
+    ) -> None:
+        self.network = network
+        self.io_block = io_block
+        self.terminal = terminal
+        self.clock_ghz = clock_ghz
+        self.packet_bytes = packet_bytes
+        self.flit_bytes = flit_bytes
+        self.payload_factory = payload_factory
+        self.packets_in = 0
+
+    @property
+    def interarrival_cycles(self) -> float:
+        return self.io_block.packet_interarrival_cycles(
+            self.packet_bytes, self.clock_ghz
+        )
+
+    def start(self, destination: int, count: int) -> None:
+        """Inject *count* line packets toward *destination* at line rate."""
+        sim: Simulator = self.network.sim
+        gap = self.interarrival_cycles
+        size_flits = max(1, -(-self.packet_bytes // self.flit_bytes))
+
+        def feeder():
+            for index in range(count):
+                payload = (
+                    self.payload_factory(index)
+                    if self.payload_factory is not None
+                    else index
+                )
+                packet = Packet(
+                    src=self.terminal,
+                    dst=destination,
+                    size_flits=size_flits,
+                    payload=payload,
+                )
+                self.packets_in += 1
+                self.network.send(packet)
+                yield Timeout(gap)
+
+        sim.spawn(feeder(), name=f"line-{self.io_block.name}")

@@ -1,0 +1,36 @@
+"""Ultra-lightweight embedded RTOS model.
+
+Section 5.2 of the paper: "In the O/S domain, the main additional need
+is for ultra-lightweight versions of these O/S's, which supply a level
+of services tuned to the application domain.  In some cases, part of
+the O/S services will need to be performed in hardware."
+
+* :mod:`repro.rtos.kernel` — a priority-scheduled kernel over the DES
+  substrate with a configurable context-switch cost (1 cycle models a
+  hardware scheduler, hundreds model a software one — the quantitative
+  content of "performed in hardware");
+* :mod:`repro.rtos.sync` — semaphores and mailboxes;
+* :mod:`repro.rtos.schedulability` — rate-monotonic analysis
+  (Liu-Layland bound and exact response-time iteration).
+"""
+
+from repro.rtos.kernel import RtosKernel, RtosTask, TaskState
+from repro.rtos.sync import Mailbox, Semaphore
+from repro.rtos.schedulability import (
+    PeriodicTaskSpec,
+    liu_layland_bound,
+    response_time_analysis,
+    utilization,
+)
+
+__all__ = [
+    "Mailbox",
+    "PeriodicTaskSpec",
+    "RtosKernel",
+    "RtosTask",
+    "Semaphore",
+    "TaskState",
+    "liu_layland_bound",
+    "response_time_analysis",
+    "utilization",
+]

@@ -1,0 +1,204 @@
+"""The RTOS kernel: fixed-priority scheduling with switch cost.
+
+Tasks are generator functions yielding kernel commands:
+
+* ``("compute", cycles)`` — occupy the CPU;
+* ``("sleep", cycles)``  — release the CPU for a relative delay;
+* ``("acquire", sem)`` / ``("release", sem)`` — semaphore ops;
+* ``("send", mailbox, message)`` / ``("recv", mailbox)`` — messaging
+  (``recv`` resumes with the message as the yielded value).
+
+Scheduling is fixed-priority, non-preemptive at command granularity
+(the run-to-yield discipline of lightweight embedded kernels): at every
+dispatch point the highest-priority ready task runs its next command.
+Switching to a different task than last time costs
+``context_switch_cycles`` — set it to 1 for the paper's
+hardware-assisted scheduler, to hundreds for a software kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.sim.core import Simulator, Timeout
+from repro.sim.stats import Sampler
+
+
+class TaskState(Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    SLEEPING = "sleeping"
+    FINISHED = "finished"
+
+
+@dataclass
+class RtosTask:
+    """One kernel task."""
+
+    name: str
+    priority: int                     # lower number = higher priority
+    body: Generator[Any, Any, Any]
+    state: TaskState = TaskState.READY
+    activations: int = 0
+    completions: int = 0
+    response_times: Sampler = field(
+        default_factory=lambda: Sampler("response")
+    )
+    _activated_at: float = 0.0
+    _send_value: Any = None
+
+
+class RtosKernel:
+    """A single-CPU fixed-priority kernel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        context_switch_cycles: float = 1.0,
+        name: str = "rtos",
+    ) -> None:
+        if context_switch_cycles < 0:
+            raise ValueError(
+                f"negative context-switch cost {context_switch_cycles}"
+            )
+        self.sim = sim
+        self.context_switch_cycles = context_switch_cycles
+        self.name = name
+        self._ready: List[tuple] = []   # (priority, seq, task)
+        self._seq = itertools.count()
+        self.tasks: Dict[str, RtosTask] = {}
+        self._current: Optional[RtosTask] = None
+        self._idle = True
+        self.switches = 0
+        self.busy_cycles = 0.0
+        self.overhead_cycles = 0.0
+        self._started = False
+
+    # -- task management -----------------------------------------------------
+
+    def create_task(
+        self,
+        name: str,
+        priority: int,
+        body_factory: Callable[[], Generator[Any, Any, Any]],
+    ) -> RtosTask:
+        """Register a task; it becomes ready at kernel start."""
+        if name in self.tasks:
+            raise ValueError(f"duplicate task {name!r}")
+        task = RtosTask(name=name, priority=priority, body=body_factory())
+        task._activated_at = self.sim.now
+        task.activations += 1
+        self.tasks[name] = task
+        self._make_ready(task)
+        return task
+
+    def start(self) -> None:
+        """Spawn the scheduler process."""
+        if self._started:
+            raise RuntimeError("kernel already started")
+        self._started = True
+        self.sim.spawn(self._scheduler(), name=f"{self.name}.sched")
+
+    # -- scheduler -----------------------------------------------------------
+
+    def _make_ready(self, task: RtosTask) -> None:
+        task.state = TaskState.READY
+        heapq.heappush(self._ready, (task.priority, next(self._seq), task))
+
+    def _scheduler(self):
+        while True:
+            while not self._ready:
+                # Idle until something becomes ready: poll the event the
+                # wakers set.  A dedicated event per idle period keeps
+                # the kernel free of busy-waiting.
+                self._wakeup = self.sim.event(f"{self.name}.wakeup")
+                self._idle = True
+                yield self._wakeup
+            self._idle = False
+            _prio, _seq, task = heapq.heappop(self._ready)
+            if task.state is not TaskState.READY:
+                continue
+            if self._current is not task and self._current is not None:
+                self.switches += 1
+                if self.context_switch_cycles > 0:
+                    self.overhead_cycles += self.context_switch_cycles
+                    yield Timeout(self.context_switch_cycles)
+            self._current = task
+            task.state = TaskState.RUNNING
+            yield from self._run_command(task)
+
+    def _wake(self, task: RtosTask) -> None:
+        self._make_ready(task)
+        if self._idle and not self._wakeup.triggered:
+            self._wakeup.succeed(None)
+
+    def _run_command(self, task: RtosTask):
+        try:
+            command = task.body.send(task._send_value)
+        except StopIteration:
+            task.state = TaskState.FINISHED
+            task.completions += 1
+            task.response_times.add(self.sim.now - task._activated_at)
+            # _current is kept: dispatching the *next* task is a switch.
+            return
+        task._send_value = None
+        kind = command[0]
+        if kind == "compute":
+            cycles = float(command[1])
+            if cycles < 0:
+                raise ValueError(f"task {task.name!r}: negative compute")
+            self.busy_cycles += cycles
+            yield Timeout(cycles)
+            self._make_ready(task)
+        elif kind == "sleep":
+            delay = float(command[1])
+            if delay < 0:
+                raise ValueError(f"task {task.name!r}: negative sleep")
+            task.state = TaskState.SLEEPING
+            self.sim.schedule(delay, lambda: self._wake(task))
+        elif kind == "acquire":
+            semaphore = command[1]
+            if semaphore.try_acquire():
+                self._make_ready(task)
+            else:
+                task.state = TaskState.BLOCKED
+                semaphore._enqueue(self, task)
+        elif kind == "release":
+            command[1]._release(self)
+            self._make_ready(task)
+        elif kind == "send":
+            _kind, mailbox, message = command
+            mailbox._send(self, message)
+            self._make_ready(task)
+        elif kind == "recv":
+            mailbox = command[1]
+            message = mailbox._try_recv()
+            if message is not mailbox._EMPTY:
+                task._send_value = message
+                self._make_ready(task)
+            else:
+                task.state = TaskState.BLOCKED
+                mailbox._enqueue(self, task)
+        else:
+            raise ValueError(
+                f"task {task.name!r} yielded unknown command {command!r}"
+            )
+
+    # -- metrics -------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Useful compute fraction of elapsed time."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.busy_cycles / self.sim.now
+
+    def overhead_fraction(self) -> float:
+        """Context-switch overhead fraction of elapsed time."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.overhead_cycles / self.sim.now

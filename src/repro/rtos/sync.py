@@ -1,0 +1,87 @@
+"""RTOS synchronization primitives: semaphores and mailboxes.
+
+Blocked tasks are queued in priority order (highest first), so a
+release hands the resource to the most urgent waiter — the fixed-
+priority discipline of the kernel carried into its services.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+
+class Semaphore:
+    """A counting semaphore."""
+
+    def __init__(self, initial: int = 1, name: str = "sem") -> None:
+        if initial < 0:
+            raise ValueError(f"negative initial count {initial}")
+        self.name = name
+        self._count = initial
+        self._waiters: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire (the kernel calls this)."""
+        if self._count > 0:
+            self._count -= 1
+            return True
+        return False
+
+    def _enqueue(self, kernel, task) -> None:
+        heapq.heappush(self._waiters, (task.priority, next(self._seq), task))
+
+    def _release(self, kernel) -> None:
+        if self._waiters:
+            _prio, _seq, task = heapq.heappop(self._waiters)
+            kernel._wake(task)
+        else:
+            self._count += 1
+
+
+class Mailbox:
+    """A FIFO message queue with priority-ordered receivers."""
+
+    _EMPTY = object()
+
+    def __init__(self, name: str = "mbox") -> None:
+        self.name = name
+        self._messages: Deque[Any] = deque()
+        self._receivers: List[Tuple[int, int, Any]] = []
+        self._seq = itertools.count()
+        self.sent = 0
+        self.received = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._messages)
+
+    def _send(self, kernel, message: Any) -> None:
+        self.sent += 1
+        if self._receivers:
+            _prio, _seq, task = heapq.heappop(self._receivers)
+            task._send_value = message
+            self.received += 1
+            kernel._wake(task)
+        else:
+            self._messages.append(message)
+
+    def _try_recv(self) -> Any:
+        if self._messages:
+            self.received += 1
+            return self._messages.popleft()
+        return self._EMPTY
+
+    def _enqueue(self, kernel, task) -> None:
+        heapq.heappush(self._receivers, (task.priority, next(self._seq), task))

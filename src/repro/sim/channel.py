@@ -1,0 +1,118 @@
+"""Point-to-point communication channels.
+
+:class:`Channel` is a zero-latency rendezvous queue; :class:`LatencyChannel`
+adds a fixed transport delay and finite bandwidth, which is the abstraction
+the DSOC runtime uses when it is *not* running on the full flit-level NoC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.resources import Store
+
+
+class Channel:
+    """A FIFO message channel between producer and consumer processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.name = name or "channel"
+        self._store = Store(sim, capacity=capacity, name=f"{self.name}.store")
+        self._delivered = 0
+
+    @property
+    def delivered(self) -> int:
+        """Messages handed to receivers so far."""
+        return self._delivered
+
+    @property
+    def depth(self) -> int:
+        """Messages currently buffered."""
+        return len(self._store)
+
+    def send(self, message: Any) -> Event:
+        """Return an event that succeeds once *message* is enqueued."""
+        return self._store.put(message)
+
+    def receive(self) -> Event:
+        """Return an event that succeeds with the next message."""
+        event = self._store.get()
+        # Count on resolution: wrap callback if still pending.
+        if event.triggered:
+            self._delivered += 1
+        else:
+            event.callbacks.append(lambda _ev: self._count())
+        return event
+
+    def _count(self) -> None:
+        self._delivered += 1
+
+
+class LatencyChannel:
+    """A channel with fixed latency and finite message bandwidth.
+
+    Messages experience ``latency`` time units of transport delay; at most
+    one message begins transport per ``1/bandwidth`` time units, modelling
+    a serialized link.  Used as the lightweight interconnect stand-in when
+    experiments do not need the full NoC.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float,
+        bandwidth: float = float("inf"),
+        name: str = "",
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"negative channel latency {latency}")
+        if bandwidth <= 0:
+            raise SimulationError(f"non-positive channel bandwidth {bandwidth}")
+        self.sim = sim
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.name = name or "latency_channel"
+        self._store = Store(sim, name=f"{self.name}.store")
+        self._next_free = 0.0
+        self._sent = 0
+
+    @property
+    def sent(self) -> int:
+        """Messages injected so far."""
+        return self._sent
+
+    def send(self, message: Any) -> Event:
+        """Inject *message*; it arrives after serialization + latency."""
+        now = self.sim.now
+        if self.bandwidth == float("inf"):
+            start = now
+            self._next_free = now
+        else:
+            start = max(now, self._next_free)
+            self._next_free = start + 1.0 / self.bandwidth
+        arrival_delay = (start - now) + self.latency
+        done = self.sim.event(f"{self.name}.sent")
+        self._sent += 1
+
+        def deliver() -> None:
+            self._store.put(message)
+
+        self.sim.schedule(arrival_delay, deliver)
+        done.succeed(None)
+        return done
+
+    def receive(self) -> Event:
+        """Return an event that succeeds with the next delivered message."""
+        return self._store.get()
+
+    @property
+    def depth(self) -> int:
+        """Messages delivered but not yet received."""
+        return len(self._store)

@@ -1,0 +1,129 @@
+"""Defect-limited die yield and redundancy/self-repair models.
+
+Supports the manufacturing-economics experiments (E1-E3, E5): die cost
+is wafer cost divided by good dice, and good dice follow the negative
+binomial yield model.  Also models the paper's Section 4 observation
+that redundancy and self-repair become necessary at nanometer nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.technology.node import ProcessNode
+
+
+def negative_binomial_yield(
+    die_area_mm2: float,
+    defect_density_per_cm2: float,
+    clustering_alpha: float = 2.0,
+) -> float:
+    """Fraction of dice free of killer defects.
+
+    The industry-standard negative binomial model::
+
+        Y = (1 + A * D0 / alpha) ** -alpha
+
+    *clustering_alpha* ~ 2 reflects typical defect clustering.
+    """
+    if die_area_mm2 <= 0:
+        raise ValueError(f"non-positive die area {die_area_mm2}")
+    if defect_density_per_cm2 < 0:
+        raise ValueError(f"negative defect density {defect_density_per_cm2}")
+    area_cm2 = die_area_mm2 / 100.0
+    return (1.0 + area_cm2 * defect_density_per_cm2 / clustering_alpha) ** (
+        -clustering_alpha
+    )
+
+
+def dice_per_wafer(die_area_mm2: float, wafer_diameter_mm: float) -> int:
+    """Gross dice per wafer with an edge-loss correction."""
+    if die_area_mm2 <= 0:
+        raise ValueError(f"non-positive die area {die_area_mm2}")
+    radius = wafer_diameter_mm / 2.0
+    wafer_area = math.pi * radius ** 2
+    edge = math.pi * wafer_diameter_mm * math.sqrt(die_area_mm2)
+    gross = (wafer_area - edge / math.sqrt(2.0)) / die_area_mm2
+    return max(0, int(gross))
+
+
+def die_cost_usd(
+    process: ProcessNode,
+    die_area_mm2: float,
+    clustering_alpha: float = 2.0,
+) -> float:
+    """Manufacturing cost of one *good* die (excludes NRE, test, package)."""
+    gross = dice_per_wafer(die_area_mm2, process.wafer_diameter_mm)
+    if gross == 0:
+        raise ValueError(
+            f"die of {die_area_mm2} mm^2 does not fit a "
+            f"{process.wafer_diameter_mm} mm wafer"
+        )
+    y = negative_binomial_yield(
+        die_area_mm2, process.defect_density_per_cm2, clustering_alpha
+    )
+    good = gross * y
+    if good < 1:
+        raise ValueError("yield too low: less than one good die per wafer")
+    return process.wafer_cost_usd / good
+
+
+def repaired_yield(
+    base_yield: float,
+    repairable_fraction: float,
+    repair_success: float = 0.95,
+) -> float:
+    """Yield after redundancy repair.
+
+    *repairable_fraction* of defect-hit dice (e.g. hits landing in
+    redundant memory columns) can be repaired with probability
+    *repair_success*.  This is the self-repair lever of Section 4.
+    """
+    for name, v in (
+        ("base_yield", base_yield),
+        ("repairable_fraction", repairable_fraction),
+        ("repair_success", repair_success),
+    ):
+        if not 0.0 <= v <= 1.0:
+            raise ValueError(f"{name} must be in [0,1], got {v}")
+    failing = 1.0 - base_yield
+    recovered = failing * repairable_fraction * repair_success
+    return base_yield + recovered
+
+
+@dataclass(frozen=True)
+class YieldModel:
+    """Yield and die-cost summary for a die at one node."""
+
+    process: ProcessNode
+    die_area_mm2: float
+    yield_fraction: float
+    gross_dice: int
+    good_dice: float
+    die_cost: float
+
+    @classmethod
+    def for_die(
+        cls,
+        process: ProcessNode,
+        die_area_mm2: float,
+        memory_fraction: float = 0.0,
+        clustering_alpha: float = 2.0,
+    ) -> "YieldModel":
+        """Build the model; *memory_fraction* of area is repairable SRAM."""
+        base = negative_binomial_yield(
+            die_area_mm2, process.defect_density_per_cm2, clustering_alpha
+        )
+        y = repaired_yield(base, repairable_fraction=memory_fraction)
+        gross = dice_per_wafer(die_area_mm2, process.wafer_diameter_mm)
+        good = gross * y
+        cost = process.wafer_cost_usd / good if good >= 1 else float("inf")
+        return cls(
+            process=process,
+            die_area_mm2=die_area_mm2,
+            yield_fraction=y,
+            gross_dice=gross,
+            good_dice=good,
+            die_cost=cost,
+        )

@@ -1,0 +1,168 @@
+"""TLM speed-vs-accuracy comparison.
+
+Runs the same master/memory traffic twice:
+
+1. at the **loosely-timed TLM** level — a quantum-keeper master against
+   the annotated :class:`~repro.tlm.bus.TlmBus` (few kernel events);
+2. on the **cycle-approximate NoC** — OCP split transactions over the
+   flit-level network (many kernel events).
+
+The comparison returns the kernel-event ratio (the paper's "increase
+the simulation speed" claim [10]) and the end-to-end timing error the
+abstraction costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.network import Network
+from repro.noc.ocp import OcpMaster, OcpSlave
+from repro.noc.topology import mesh
+from repro.sim.core import Simulator
+from repro.tlm.bus import AddressMap, TlmBus, TlmMemory
+from repro.tlm.payload import GenericPayload, TlmCommand
+from repro.tlm.quantum import QuantumKeeper
+
+
+@dataclass(frozen=True)
+class AbstractionComparison:
+    """Outcome of one TLM-vs-cycle comparison run."""
+
+    transactions: int
+    tlm_final_time: float
+    cycle_final_time: float
+    tlm_kernel_events: int
+    cycle_kernel_events: int
+    quantum: float
+
+    @property
+    def event_ratio(self) -> float:
+        """Cycle-model kernel events per TLM kernel event (the speedup
+        proxy: wall-clock time tracks event count)."""
+        return self.cycle_kernel_events / max(1, self.tlm_kernel_events)
+
+    @property
+    def timing_error(self) -> float:
+        """Relative end-to-end timing error of the TLM model."""
+        if self.cycle_final_time == 0:
+            return 0.0
+        return abs(self.tlm_final_time - self.cycle_final_time) / (
+            self.cycle_final_time
+        )
+
+
+def _run_tlm(
+    transactions: int,
+    quantum: float,
+    access_delay: float,
+    arbitration_delay: float = 2.0,
+) -> tuple:
+    sim = Simulator()
+    memory = TlmMemory("mem", size=1 << 16, access_delay=access_delay)
+    address_map = AddressMap()
+    address_map.add(0x0000, 1 << 16, memory)
+    bus = TlmBus(address_map, arbitration_delay=arbitration_delay)
+    keeper = QuantumKeeper(sim, quantum)
+    done = {}
+
+    def master():
+        for i in range(transactions):
+            write = GenericPayload(
+                TlmCommand.WRITE,
+                address=(i * 4) & 0xFFFF,
+                data=i.to_bytes(4, "big"),
+                length=4,
+            )
+            keeper.add(bus.b_transport(write))
+            read = GenericPayload(
+                TlmCommand.READ, address=(i * 4) & 0xFFFF, length=4
+            )
+            keeper.add(bus.b_transport(read))
+            assert read.data == i.to_bytes(4, "big")
+            yield from keeper.maybe_sync()
+        yield from keeper.flush()
+        done["time"] = sim.now
+
+    sim.spawn(master())
+    sim.run()
+    return done["time"], sim.events_executed
+
+
+def _run_cycle(transactions: int, access_delay: float) -> tuple:
+    sim = Simulator()
+    network = Network(sim, mesh(4, width=2), router_delay=1.0)
+    master = OcpMaster(network, 0)
+    OcpSlave(network, 3, access_latency=access_delay)
+    done = {}
+
+    def driver():
+        for i in range(transactions):
+            yield master.write(3, (i * 4) & 0xFFFF, i)
+            value = yield master.read(3, (i * 4) & 0xFFFF)
+            assert value == i
+        done["time"] = sim.now
+
+    sim.spawn(driver())
+    sim.run()
+    return done["time"], sim.events_executed
+
+
+def compare_abstractions(
+    transactions: int = 200,
+    quantum: float = 1000.0,
+    access_delay: float = 10.0,
+    back_annotate: bool = True,
+) -> AbstractionComparison:
+    """Run both abstractions on identical traffic and compare.
+
+    With *back_annotate* (the paper's TLM flow: timing figures flow up
+    from the cycle-accurate model [7]), the TLM bus's arbitration delay
+    is set to the NoC's zero-load transport latency, so the remaining
+    TLM timing error reflects only the contention effects the
+    abstraction genuinely cannot see.
+    """
+    if transactions < 1:
+        raise ValueError(f"need >=1 transaction, got {transactions}")
+    arbitration = 2.0
+    if back_annotate:
+        probe_sim = Simulator()
+        probe_net = Network(probe_sim, mesh(4, width=2), router_delay=1.0)
+        # Round trip = request transport + response transport; subtract
+        # the pieces the TLM bus annotates itself (transfer + access).
+        round_trip = probe_net.zero_load_latency(
+            0, 3, 4
+        ) + probe_net.zero_load_latency(3, 0, 4)
+        arbitration = max(0.0, round_trip - 4 / 8.0)
+    tlm_time, tlm_events = _run_tlm(
+        transactions, quantum, access_delay, arbitration_delay=arbitration
+    )
+    cycle_time, cycle_events = _run_cycle(transactions, access_delay)
+    return AbstractionComparison(
+        transactions=transactions,
+        tlm_final_time=tlm_time,
+        cycle_final_time=cycle_time,
+        tlm_kernel_events=tlm_events,
+        cycle_kernel_events=cycle_events,
+        quantum=quantum,
+    )
+
+
+def quantum_sweep(
+    quanta: tuple = (10.0, 100.0, 1000.0, 10_000.0),
+    transactions: int = 200,
+) -> list[dict]:
+    """The LT tradeoff curve: bigger quantum, fewer events, same error."""
+    rows = []
+    for quantum in quanta:
+        comparison = compare_abstractions(transactions, quantum)
+        rows.append(
+            {
+                "quantum": quantum,
+                "tlm_events": comparison.tlm_kernel_events,
+                "cycle_events": comparison.cycle_kernel_events,
+                "event_ratio": round(comparison.event_ratio, 1),
+                "timing_error": round(comparison.timing_error, 3),
+            }
+        )
+    return rows

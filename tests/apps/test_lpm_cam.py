@@ -1,0 +1,208 @@
+"""Unit and property tests for the LPM trie (NPSE) and CAM baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cam import CamTable, TcamModel
+from repro.apps.lpm import LpmTrie, linear_scan_lookup
+from repro.apps.trafficgen import build_cam, build_trie, random_prefix_table
+
+
+class TestTrieBasics:
+    def test_stride_must_divide_32(self):
+        with pytest.raises(ValueError):
+            LpmTrie(stride=7)
+
+    def test_empty_trie_misses(self):
+        trie = LpmTrie()
+        hop, accesses = trie.lookup(0x0A000001)
+        assert hop is None
+        assert accesses >= 1
+
+    def test_exact_32bit_prefix(self):
+        trie = LpmTrie()
+        trie.insert(0xC0A80101, 32, 7)
+        assert trie.lookup(0xC0A80101)[0] == 7
+        assert trie.lookup(0xC0A80102)[0] is None
+
+    def test_shorter_prefix_covers_range(self):
+        trie = LpmTrie()
+        trie.insert(0x0A000000, 8, 3)  # 10/8
+        assert trie.lookup(0x0A123456)[0] == 3
+        assert trie.lookup(0x0B000000)[0] is None
+
+    def test_longest_prefix_wins(self):
+        trie = LpmTrie()
+        trie.insert(0x0A000000, 8, 1)
+        trie.insert(0x0A0A0000, 16, 2)
+        trie.insert(0x0A0A0A00, 24, 3)
+        assert trie.lookup(0x0A0A0A05)[0] == 3
+        assert trie.lookup(0x0A0A0505)[0] == 2
+        assert trie.lookup(0x0A050505)[0] == 1
+
+    def test_insert_order_irrelevant(self):
+        """Longer-first insertion must not be shadowed by shorter-later."""
+        trie = LpmTrie()
+        trie.insert(0x0A0A0000, 16, 2)
+        trie.insert(0x0A000000, 8, 1)  # shorter inserted after longer
+        assert trie.lookup(0x0A0A0001)[0] == 2
+
+    def test_default_route(self):
+        trie = LpmTrie()
+        trie.insert(0, 0, 99)
+        assert trie.lookup(0xDEADBEEF)[0] == 99
+
+    def test_non_stride_aligned_prefix_expansion(self):
+        trie = LpmTrie(stride=8)
+        trie.insert(0xAC100000, 12, 5)  # 172.16/12
+        assert trie.lookup(0xAC1F0001)[0] == 5  # 172.31.x
+        assert trie.lookup(0xAC200001)[0] is None  # 172.32.x
+
+    def test_prefix_validation(self):
+        trie = LpmTrie()
+        with pytest.raises(ValueError):
+            trie.insert(0x01, 8, 1)  # bits below mask
+        with pytest.raises(ValueError):
+            trie.insert(0, 33, 1)
+        with pytest.raises(ValueError):
+            trie.insert(0, 8, -1)
+
+    def test_address_validation(self):
+        with pytest.raises(ValueError):
+            LpmTrie().lookup(1 << 32)
+
+    def test_accesses_bounded_by_levels(self):
+        trie = LpmTrie(stride=8)
+        trie.insert(0xC0A80100, 24, 1)
+        _hop, accesses = trie.lookup(0xC0A80123)
+        assert 1 <= accesses <= trie.levels
+
+    def test_wider_stride_fewer_accesses(self):
+        narrow = LpmTrie(stride=4)
+        wide = LpmTrie(stride=16)
+        for trie in (narrow, wide):
+            trie.insert(0xC0A80000, 16, 1)
+        assert wide.lookup(0xC0A81234)[1] < narrow.lookup(0xC0A81234)[1]
+
+    def test_stats_accounting(self):
+        trie = LpmTrie(stride=8)
+        table = random_prefix_table(200, seed=1)
+        for prefix, length, hop in table:
+            trie.insert(prefix, length, hop)
+        stats = trie.stats()
+        assert stats.prefixes == 200
+        assert stats.nodes >= 1
+        assert stats.sram_kbytes > 0
+        assert stats.worst_case_accesses == 4
+
+
+class TestCam:
+    def test_priority_match(self):
+        cam = CamTable()
+        cam.insert(0x0A000000, 8, 1)
+        cam.insert(0x0A0A0000, 16, 2)
+        hop, _energy = cam.lookup(0x0A0A0001)
+        assert hop == 2
+
+    def test_miss(self):
+        cam = CamTable()
+        cam.insert(0x0A000000, 8, 1)
+        assert cam.lookup(0x0B000000)[0] is None
+
+    def test_search_energy_scales_with_entries(self):
+        small = TcamModel.for_entries(1_000)
+        large = TcamModel.for_entries(100_000)
+        assert large.search_energy_pj == pytest.approx(
+            100 * small.search_energy_pj
+        )
+
+    def test_validation(self):
+        cam = CamTable()
+        with pytest.raises(ValueError):
+            cam.insert(0x01, 8, 1)
+        with pytest.raises(ValueError):
+            cam.lookup(-1)
+        with pytest.raises(ValueError):
+            TcamModel.for_entries(0)
+
+    def test_area_factor(self):
+        model = TcamModel.for_entries(100)
+        assert model.area_sram_equivalent_bits == pytest.approx(2 * model.bits)
+
+
+class TestTrieVsCamEquivalence:
+    def test_same_answers_on_generated_table(self):
+        table = random_prefix_table(500, seed=11)
+        trie = build_trie(table)
+        cam = build_cam(table)
+        probes = [p | 0x10101 for p, _l, _h in table[:200]]
+        for address in probes:
+            address &= 0xFFFFFFFF
+            assert trie.lookup(address)[0] == cam.lookup(address)[0]
+
+
+# --- hypothesis oracle: trie == linear scan over random tables ---------------
+
+_prefix_entry = st.tuples(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=32),
+    st.integers(min_value=0, max_value=255),
+).map(
+    lambda t: (
+        (t[0] & ~((1 << (32 - t[1])) - 1)) & 0xFFFFFFFF if t[1] < 32 else t[0],
+        t[1],
+        t[2],
+    )
+)
+
+
+@given(
+    table=st.lists(_prefix_entry, min_size=0, max_size=40),
+    probes=st.lists(
+        st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=20
+    ),
+    stride=st.sampled_from([4, 8, 16]),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_trie_matches_linear_scan(table, probes, stride):
+    """The trie implements exact LPM semantics for arbitrary tables.
+
+    Oracle note: when two table entries share (prefix, length) with
+    different next hops, both implementations legitimately keep either;
+    we deduplicate those before comparing.
+    """
+    seen = {}
+    for prefix, length, hop in table:
+        seen[(prefix, length)] = hop
+    clean_table = [(p, l, h) for (p, l), h in seen.items()]
+    trie = LpmTrie(stride=stride)
+    for prefix, length, hop in clean_table:
+        trie.insert(prefix, length, hop)
+    for address in probes:
+        expected = linear_scan_lookup(clean_table, address)
+        got, _accesses = trie.lookup(address)
+        # Ambiguity: multiple same-length prefixes can match only if they
+        # are identical (dedup above), so the answer must be exact...
+        # unless two different-length prefixes tie in hop value; LPM picks
+        # by length, which linear_scan_lookup does too.
+        assert got == expected, (
+            f"trie={got} scan={expected} addr={address:#010x} "
+            f"table={clean_table}"
+        )
+
+
+@given(
+    table=st.lists(_prefix_entry, min_size=1, max_size=30),
+    stride=st.sampled_from([4, 8]),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_every_inserted_prefix_base_address_hits(table, stride):
+    seen = {}
+    for prefix, length, hop in table:
+        seen[(prefix, length)] = hop
+    trie = LpmTrie(stride=stride)
+    for (prefix, length), hop in seen.items():
+        trie.insert(prefix, length, hop)
+    for (prefix, length), _hop in seen.items():
+        got, _accesses = trie.lookup(prefix)
+        assert got is not None  # base address always matches something

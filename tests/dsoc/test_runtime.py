@@ -1,0 +1,210 @@
+"""Unit tests for DSOC objects, broker and runtime."""
+
+import pytest
+
+from repro.dsoc.broker import ObjectBroker, ReplicaPolicy
+from repro.dsoc.idl import IdlError, Interface, Method, Param
+from repro.dsoc.objects import DsocObject
+from repro.dsoc.runtime import DsocRuntime
+from repro.platform.fppa import build_platform
+from repro.platform.stepnp import stepnp_spec
+from repro.sim.core import Timeout
+
+
+class Counter(DsocObject):
+    interface = Interface(
+        "Counter",
+        (
+            Method("bump", (Param("amount", "u32"),)),
+            Method("read", ()),
+            Method("fire", (), oneway=True),
+        ),
+    )
+
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+        self.fired = 0
+
+    def serve_bump(self, ctx, svc, amount):
+        yield from ctx.compute(10)
+        self.value += amount
+        return self.value
+
+    def serve_read(self, ctx, svc):
+        yield from ctx.compute(2)
+        return self.value
+
+    def serve_fire(self, ctx, svc):
+        yield from ctx.compute(1)
+        self.fired += 1
+        return None
+
+
+def make_runtime(num_pes=4, threads=4, policy=ReplicaPolicy.ROUND_ROBIN):
+    platform = build_platform(stepnp_spec(num_pes=num_pes, threads=threads))
+    return platform, DsocRuntime(platform, policy=policy)
+
+
+class TestServantValidation:
+    def test_missing_interface_rejected(self):
+        class Bad(DsocObject):
+            pass
+
+        with pytest.raises(IdlError, match="interface"):
+            Bad()
+
+    def test_missing_servant_method_rejected(self):
+        class Incomplete(DsocObject):
+            interface = Interface("I", (Method("m"),))
+
+        with pytest.raises(IdlError, match="serve_m"):
+            Incomplete()
+
+    def test_dispatch_unknown_method(self):
+        counter = Counter()
+        with pytest.raises(IdlError):
+            counter.dispatch("missing")
+
+
+class TestInvocation:
+    def test_call_and_response(self):
+        platform, runtime = make_runtime()
+        servant = Counter()
+        runtime.deploy("counter", servant, platform.pes[0], server_threads=2)
+        proxy = runtime.proxy(platform.line_interfaces[0].terminal, "counter")
+        out = []
+
+        def client():
+            value = yield proxy.call("bump", 5)
+            out.append(value)
+            value = yield proxy.call("bump", 3)
+            out.append(value)
+
+        platform.sim.spawn(client())
+        platform.run(until=50_000)
+        assert out == [5, 8]
+        assert servant.value == 8
+
+    def test_argument_validation_at_caller(self):
+        platform, runtime = make_runtime()
+        runtime.deploy("counter", Counter(), platform.pes[0])
+        proxy = runtime.proxy(platform.line_interfaces[0].terminal, "counter")
+        with pytest.raises(IdlError):
+            proxy.call("bump", "not an int")
+        with pytest.raises(IdlError):
+            proxy.call("bump")  # missing argument
+
+    def test_oneway_returns_immediately(self):
+        platform, runtime = make_runtime()
+        servant = Counter()
+        runtime.deploy("counter", servant, platform.pes[0])
+        proxy = runtime.proxy(platform.line_interfaces[0].terminal, "counter")
+        event = proxy.call("fire")
+        assert event.triggered  # oneway completes at issue time
+        platform.run(until=20_000)
+        assert servant.fired == 1
+
+    def test_unknown_object_rejected(self):
+        platform, runtime = make_runtime()
+        runtime.deploy("counter", Counter(), platform.pes[0])
+        with pytest.raises(IdlError, match="counter"):
+            runtime.proxy(0, "missing_object")
+
+
+class TestReplication:
+    def test_round_robin_spreads_requests(self):
+        platform, runtime = make_runtime(num_pes=4)
+        servants = []
+
+        def factory():
+            servant = Counter()
+            servants.append(servant)
+            return servant
+
+        runtime.deploy_replicated("counter", factory, server_threads=2)
+        proxy = runtime.proxy(platform.line_interfaces[0].terminal, "counter")
+
+        def client():
+            for _ in range(40):
+                yield proxy.call("bump", 1)
+
+        platform.sim.spawn(client())
+        platform.run(until=200_000)
+        assert sum(s.value for s in servants) == 40
+        assert all(s.value == 10 for s in servants)
+
+    def test_total_served(self):
+        platform, runtime = make_runtime(num_pes=2)
+        runtime.deploy_replicated("counter", Counter, server_threads=1)
+        proxy = runtime.proxy(platform.line_interfaces[0].terminal, "counter")
+
+        def client():
+            for _ in range(6):
+                yield proxy.call("read")
+
+        platform.sim.spawn(client())
+        platform.run(until=100_000)
+        assert runtime.total_served("counter") == 6
+
+    def test_interface_mismatch_on_reregister(self):
+        broker = ObjectBroker()
+
+        class Other(DsocObject):
+            interface = Interface("Other", (Method("m"),))
+
+            def serve_m(self, ctx, svc):
+                yield from ctx.compute(1)
+
+        platform, runtime = make_runtime(num_pes=2)
+        runtime.deploy("obj", Counter(), platform.pes[0])
+        with pytest.raises(IdlError, match="interface"):
+            runtime.deploy("obj", Other(), platform.pes[1])
+
+
+class TestPolicies:
+    def test_shortest_queue_policy_runs(self):
+        platform, runtime = make_runtime(policy=ReplicaPolicy.SHORTEST_QUEUE)
+        runtime.deploy_replicated("counter", Counter, server_threads=1)
+        proxy = runtime.proxy(platform.line_interfaces[0].terminal, "counter")
+        done = []
+
+        def client():
+            for _ in range(12):
+                yield proxy.call("bump", 1)
+            done.append(True)
+
+        platform.sim.spawn(client())
+        platform.run(until=200_000)
+        assert done == [True]
+
+    def test_broker_lookup_error_lists_registered(self):
+        broker = ObjectBroker()
+        with pytest.raises(IdlError, match="none"):
+            broker.lookup("ghost")
+
+
+class TestServiceContext:
+    def test_servant_can_read_platform_memory(self):
+        platform, runtime = make_runtime()
+        mem_terminal = platform.memory_terminal("esram")
+
+        class TableReader(DsocObject):
+            interface = Interface("TableReader", (Method("get", (Param("k", "u32"),)),))
+
+            def serve_get(self, ctx, svc, k):
+                yield from ctx.compute(5)
+                value = yield from svc.read(mem_terminal, k)
+                return {"key": k, "value": value}
+
+        runtime.deploy("reader", TableReader(), platform.pes[0])
+        proxy = runtime.proxy(platform.line_interfaces[0].terminal, "reader")
+        out = []
+
+        def client():
+            result = yield proxy.call("get", 7)
+            out.append(result)
+
+        platform.sim.spawn(client())
+        platform.run(until=50_000)
+        assert out == [{"key": 7, "value": None}]

@@ -1,0 +1,50 @@
+"""Unit tests for software licensing vs silicon cost."""
+
+import pytest
+
+from repro.economics.licensing import (
+    CONSUMER_MULTIMEDIA_STACK,
+    LicenseItem,
+    LicenseStack,
+    license_vs_silicon,
+)
+
+
+class TestLicenseStack:
+    def test_per_unit_sums_items(self):
+        stack = LicenseStack(
+            "s", (LicenseItem("a", 1.0), LicenseItem("b", 2.5))
+        )
+        assert stack.per_unit_usd == pytest.approx(3.5)
+
+    def test_negative_royalty_rejected(self):
+        with pytest.raises(ValueError):
+            LicenseItem("bad", -1.0)
+
+    def test_breakdown(self):
+        breakdown = CONSUMER_MULTIMEDIA_STACK.breakdown()
+        assert "mpeg_video_codec" in breakdown
+        assert sum(breakdown.values()) == pytest.approx(
+            CONSUMER_MULTIMEDIA_STACK.per_unit_usd
+        )
+
+
+class TestLicenseVsSilicon:
+    def test_paper_claim_licenses_exceed_silicon(self):
+        """Section 6: license/royalty cost 'largely exceeds the chip
+        manufacturing cost' for consumer multimedia."""
+        result = license_vs_silicon("130nm", die_area_mm2=60.0)
+        assert result["license_over_silicon"] > 1.0
+
+    def test_ratio_grows_as_silicon_shrinks(self):
+        """Scaling makes the same function cheaper in silicon while
+        licenses stay flat — the ratio worsens."""
+        at_130 = license_vs_silicon("130nm", die_area_mm2=60.0)
+        at_90 = license_vs_silicon("90nm", die_area_mm2=30.0)
+        assert at_90["license_over_silicon"] > at_130["license_over_silicon"]
+
+    def test_components_consistent(self):
+        result = license_vs_silicon("130nm")
+        assert result["license_over_silicon"] == pytest.approx(
+            result["license_cost_usd"] / result["silicon_cost_usd"]
+        )

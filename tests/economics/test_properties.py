@@ -1,0 +1,57 @@
+"""Property-based tests for the economics models."""
+
+from hypothesis import given, strategies as st
+
+from repro.economics.breakeven import profit_per_unit, required_volume_for_nre
+from repro.economics.alternatives import (
+    STANDARD_ALTERNATIVES,
+    ImplementationChoice,
+    total_cost,
+)
+from repro.economics.complexity import hw_complexity, sw_complexity
+from repro.technology.node import node
+
+
+@given(
+    nre=st.floats(min_value=0.0, max_value=1e9),
+    price=st.floats(min_value=0.01, max_value=1e4),
+    margin=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_breakeven_volume_covers_nre(nre, price, margin):
+    """Selling the break-even volume always recovers the NRE, and one
+    unit fewer never does."""
+    volume = required_volume_for_nre(nre, price, margin)
+    per_unit = profit_per_unit(price, margin)
+    assert volume * per_unit >= nre - 1e-6
+    if volume > 0:
+        assert (volume - 1) * per_unit < nre + per_unit
+
+
+@given(
+    volume_low=st.integers(min_value=0, max_value=10**7),
+    delta=st.integers(min_value=1, max_value=10**6),
+)
+def test_total_cost_monotone_in_volume_for_all_alternatives(volume_low, delta):
+    for alternative in STANDARD_ALTERNATIVES.values():
+        low = total_cost(alternative, "130nm", volume_low)
+        high = total_cost(alternative, "130nm", volume_low + delta)
+        assert high >= low
+
+
+@given(volume=st.integers(min_value=1, max_value=10**8))
+def test_fpga_cheapest_nre_asic_cheapest_unit(volume):
+    """At any volume the FPGA pays less NRE and the ASIC less silicon —
+    the continuum's defining invariant."""
+    fpga = STANDARD_ALTERNATIVES[ImplementationChoice.FPGA]
+    asic = STANDARD_ALTERNATIVES[ImplementationChoice.ASIC]
+    fpga_total = total_cost(fpga, "130nm", volume)
+    asic_total = total_cost(asic, "130nm", volume)
+    p130 = node("130nm")
+    assert fpga.nre(p130, 50e6) < asic.nre(p130, 50e6)
+    assert fpga.unit(p130, 80.0) > asic.unit(p130, 80.0)
+    assert fpga_total > 0 and asic_total > 0
+
+
+@given(year=st.floats(min_value=1997.0, max_value=2015.0))
+def test_sw_complexity_dominates_hw_after_reference(year):
+    assert sw_complexity(year) >= hw_complexity(year) - 1e-9

@@ -1,0 +1,212 @@
+"""Unit and property tests for the FlexWare-lite toolchain."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flexware.codegen import compile_to_risc
+from repro.flexware.ir import IrError, IrOp, IrProgram, fir_ir
+from repro.flexware.targets import cost_on_target, retargeting_report
+
+
+def simple_program():
+    """(a + b) * (a ^ 5)"""
+    program = IrProgram()
+    a = program.new_input()
+    b = program.new_input()
+    t_sum = program.emit("add", a, b)
+    five = program.emit("const", imm=5)
+    t_xor = program.emit("xor", a, five)
+    out = program.emit("mul", t_sum, t_xor)
+    program.set_output(out)
+    return program, a, b
+
+
+class TestIr:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IrError, match="unknown opcode"):
+            IrOp("frob", 0, ())
+
+    def test_arity_checked(self):
+        with pytest.raises(IrError, match="sources"):
+            IrOp("add", 0, (1,))
+
+    def test_store_has_no_dst(self):
+        with pytest.raises(IrError):
+            IrOp("store", 5, (1, 2))
+
+    def test_use_before_def_rejected(self):
+        program = IrProgram()
+        a = program.new_input()
+        program.ops.append(IrOp("add", 99, (a, 98)))
+        with pytest.raises(IrError, match="undefined"):
+            program.validate()
+
+    def test_evaluate_simple(self):
+        program, a, b = simple_program()
+        # (3 + 4) * (3 ^ 5) = 7 * 6 = 42
+        assert program.evaluate({a: 3, b: 4}) == 42
+
+    def test_evaluate_wraps_32bit(self):
+        program = IrProgram()
+        a = program.new_input()
+        out = program.emit("mul", a, a)
+        program.set_output(out)
+        assert program.evaluate({a: 1 << 20}) == 0  # 2^40 mod 2^32
+
+    def test_memory_ops(self):
+        program = IrProgram()
+        addr = program.new_input()
+        value = program.emit("load", addr)
+        doubled = program.emit("add", value, value)
+        program.set_output(doubled)
+        assert program.evaluate({addr: 100}, memory={100: 21}) == 42
+
+    def test_missing_inputs_rejected(self):
+        program, a, b = simple_program()
+        with pytest.raises(IrError, match="inputs"):
+            program.evaluate({a: 1})
+
+    def test_live_ranges(self):
+        program, a, b = simple_program()
+        ranges = program.live_ranges()
+        assert ranges[a] == (-1, 2)   # used by add (0) and xor (2)
+        assert ranges[program.output][1] == len(program.ops)
+
+
+class TestCodegen:
+    def test_simple_program_executes_correctly(self):
+        program, a, b = simple_program()
+        compiled = compile_to_risc(program)
+        result, _cpu = compiled.run({a: 3, b: 4})
+        assert result == 42
+
+    def test_matches_evaluator_on_fir(self):
+        program = fir_ir(taps=8)
+        memory = {i: (i + 1) * 3 for i in range(8)}       # samples at 0..7
+        memory.update({0x100 + i: i + 1 for i in range(8)})  # coeffs
+        sample_base, coeff_base = program.inputs
+        expected = program.evaluate(
+            {sample_base: 0, coeff_base: 0x100}, memory=dict(memory)
+        )
+        compiled = compile_to_risc(program)
+        result, _cpu = compiled.run(
+            {sample_base: 0, coeff_base: 0x100}, memory=memory
+        )
+        assert result == expected
+
+    def test_spilling_kicks_in_under_pressure(self):
+        """More than 12 simultaneously-live temps forces spills."""
+        program = IrProgram()
+        inputs = [program.new_input() for _ in range(16)]
+        acc = program.emit("add", inputs[0], inputs[1])
+        for temp in inputs[2:]:
+            acc = program.emit("add", acc, temp)
+        program.set_output(acc)
+        compiled = compile_to_risc(program)
+        assert compiled.spill_slots > 0
+        result, _cpu = compiled.run({t: i + 1 for i, t in enumerate(inputs)})
+        assert result == sum(range(1, 17))
+
+    def test_output_required(self):
+        program = IrProgram()
+        program.new_input()
+        with pytest.raises(IrError, match="output"):
+            compile_to_risc(program)
+
+    def test_stores_visible_in_memory(self):
+        program = IrProgram()
+        addr = program.new_input()
+        value = program.emit("const", imm=99)
+        program.emit("store", addr, value)
+        program.set_output(value)
+        compiled = compile_to_risc(program)
+        _result, cpu = compiled.run({addr: 0x40})
+        assert cpu.memory[0x40] == 99
+
+
+class TestTargets:
+    def test_dsp_fuses_macs_on_fir(self):
+        program = fir_ir(taps=16)
+        dsp = cost_on_target(program, "dsp")
+        risc = cost_on_target(program, "gp_risc")
+        assert dsp.fused_macs == 16
+        assert dsp.cycles < risc.cycles
+
+    def test_asip_collapses_taps(self):
+        program = fir_ir(taps=16)
+        asip = cost_on_target(program, "asip")
+        assert asip.collapsed_taps == 16
+        assert asip.cycles < cost_on_target(program, "dsp").cycles
+
+    def test_figure1_ordering_emerges_from_code(self):
+        """The Figure-1 spectrum, derived bottom-up: risc > dsp > asip
+        cycles on the domain kernel."""
+        rows = retargeting_report(fir_ir(taps=32))
+        order = [row["target"] for row in rows]
+        assert order == ["asip", "dsp", "gp_risc"]
+        assert rows[0]["speedup_vs_risc"] > rows[1]["speedup_vs_risc"] > 1.0
+
+    def test_no_patterns_no_gain(self):
+        """A pattern-free program costs the same everywhere (modulo the
+        DSP's cheaper mul)."""
+        program = IrProgram()
+        a = program.new_input()
+        t = program.emit("add", a, a)
+        t = program.emit("xor", t, a)
+        program.set_output(t)
+        asip = cost_on_target(program, "asip")
+        risc = cost_on_target(program, "gp_risc")
+        assert asip.collapsed_taps == 0
+        assert asip.cycles == risc.cycles
+
+    def test_unknown_target(self):
+        with pytest.raises(KeyError):
+            cost_on_target(fir_ir(2), "quantum")
+
+
+# --- property test: compiled code == reference evaluator ---------------------
+
+_BINARY = ["add", "sub", "mul", "and", "or", "xor"]
+
+
+@st.composite
+def straight_line_programs(draw):
+    """Random SSA programs over arithmetic ops (no memory, to keep the
+    address space disjoint from the spill area)."""
+    program = IrProgram()
+    num_inputs = draw(st.integers(min_value=1, max_value=4))
+    temps = [program.new_input() for _ in range(num_inputs)]
+    num_ops = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(num_ops):
+        choice = draw(st.integers(min_value=0, max_value=len(_BINARY) + 1))
+        if choice == len(_BINARY):
+            temps.append(program.emit("const", imm=draw(
+                st.integers(min_value=0, max_value=2**32 - 1))))
+        elif choice == len(_BINARY) + 1:
+            src = draw(st.sampled_from(temps))
+            opcode = draw(st.sampled_from(["shl", "shr"]))
+            temps.append(program.emit(opcode, src, imm=draw(
+                st.integers(min_value=0, max_value=31))))
+        else:
+            a = draw(st.sampled_from(temps))
+            b = draw(st.sampled_from(temps))
+            temps.append(program.emit(_BINARY[choice], a, b))
+    program.set_output(draw(st.sampled_from(temps)))
+    values = {
+        t: draw(st.integers(min_value=0, max_value=2**32 - 1))
+        for t in program.inputs
+    }
+    return program, values
+
+
+@given(case=straight_line_programs())
+@settings(max_examples=150, deadline=None)
+def test_property_codegen_matches_evaluator(case):
+    """For arbitrary straight-line programs, the compiled RISC binary
+    computes exactly what the IR evaluator computes — the toolchain's
+    end-to-end correctness invariant."""
+    program, values = case
+    expected = program.evaluate(dict(values))
+    compiled = compile_to_risc(program)
+    result, _cpu = compiled.run(values)
+    assert result == expected

@@ -1,0 +1,53 @@
+"""Keep the examples runnable: execute each example's main().
+
+The NoC topology explorer is exercised with a reduced sweep (its full
+saturation search takes tens of seconds); everything else runs as
+shipped.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "ipv4_stepnp",
+        "platform_economics",
+        "multimedia_mapping",
+        "wireless_lowpower",
+        "codesign_tools",
+    ],
+)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100, f"example {name} produced no meaningful output"
+
+
+def test_noc_explorer_reduced():
+    from repro.noc.traffic import TrafficPattern
+
+    module = load_example("noc_topology_explorer")
+    rows = module.explore(
+        terminals=8,
+        saturation_loads=[0.1, 0.4],
+        patterns=[TrafficPattern.UNIFORM],
+    )
+    assert rows
+    assert any(row["topology"].startswith("bus") for row in rows)

@@ -1,0 +1,53 @@
+"""Slower integration tests: NoC topology characterization (E10) and the
+StepNP IPv4 headline (E14) through the experiment interface."""
+
+import pytest
+
+from repro.analysis.experiments import e10_noc_topologies, e14_ipv4_stepnp
+
+
+@pytest.fixture(scope="module")
+def e10():
+    return e10_noc_topologies(terminals=16, loads=(0.05, 0.3), duration=3000.0)
+
+
+@pytest.fixture(scope="module")
+def e14():
+    # The full 1200-packet window: shorter runs understate utilization
+    # because the fixed pipeline ramp-up is a larger share of the window.
+    return e14_ipv4_stepnp(thread_counts=(1, 8), packets=1200)
+
+
+class TestE10Topologies:
+    def test_bus_saturates_first(self, e10):
+        assert e10["verdict"]["bus_saturates_first"]
+
+    def test_crossbar_wins_latency_loses_cost(self, e10):
+        assert e10["verdict"]["crossbar_lowest_latency"]
+        assert e10["verdict"]["crossbar_highest_cost"]
+
+    def test_all_topologies_represented(self, e10):
+        names = {row["topology"].split("-")[0] for row in e10["rows"]}
+        assert {"bus", "ring", "tree", "mesh", "torus", "fat", "crossbar"} <= {
+            n.split("-")[0] for n in names
+        } | {"fat"}
+
+    def test_scalable_topologies_unsaturated_at_low_load(self, e10):
+        for row in e10["rows"]:
+            if row["offered"] == 0.05 and not row["topology"].startswith("bus"):
+                assert not row["saturated"], row
+
+
+class TestE14Headline:
+    def test_paper_shape(self, e14):
+        verdict = e14["verdict"]
+        assert verdict["near_full_utilization"]
+        assert verdict["line_rate_with_mt"]
+        assert not verdict["line_rate_without_mt"]
+
+    def test_rows_cover_sweep(self, e14):
+        assert [row["threads"] for row in e14["rows"]] == [1, 8]
+
+    def test_throughput_monotone_in_threads(self, e14):
+        rates = [row["sustained_gbps"] for row in e14["rows"]]
+        assert rates == sorted(rates)

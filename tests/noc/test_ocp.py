@@ -1,0 +1,153 @@
+"""Unit tests for the OCP socket layer."""
+
+import pytest
+
+from repro.noc.network import Network
+from repro.noc.ocp import OcpMaster, OcpSlave
+from repro.noc.topology import mesh
+from repro.sim.core import Simulator
+
+
+def make_pair(access_latency=1.0):
+    sim = Simulator()
+    net = Network(sim, mesh(16))
+    master = OcpMaster(net, 0)
+    slave = OcpSlave(net, 15, access_latency=access_latency)
+    return sim, net, master, slave
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        sim, _net, master, _slave = make_pair()
+        out = []
+
+        def proc():
+            yield master.write(15, 0x100, "data")
+            value = yield master.read(15, 0x100)
+            out.append(value)
+
+        sim.spawn(proc())
+        sim.run()
+        assert out == ["data"]
+
+    def test_read_unwritten_returns_none(self):
+        sim, _net, master, _slave = make_pair()
+        out = []
+
+        def proc():
+            value = yield master.read(15, 0xDEAD)
+            out.append(value)
+
+        sim.spawn(proc())
+        sim.run()
+        assert out == [None]
+
+    def test_message_acknowledged(self):
+        sim, _net, master, _slave = make_pair()
+        out = []
+
+        def proc():
+            ok = yield master.message(15, {"op": "ping"})
+            out.append(ok)
+
+        sim.spawn(proc())
+        sim.run()
+        assert out == [True]
+
+
+class TestSplitTransactions:
+    def test_multiple_outstanding(self):
+        """Split transactions: issue many reads before any completes."""
+        sim, _net, master, _slave = make_pair(access_latency=50.0)
+        out = []
+
+        def proc():
+            events = [master.read(15, i) for i in range(8)]
+            assert master.outstanding == 8
+            for event in events:
+                yield event
+            out.append(master.completed)
+
+        sim.spawn(proc())
+        sim.run()
+        assert out == [8]
+        assert master.outstanding == 0
+
+    def test_access_latency_adds_to_roundtrip(self):
+        sim_fast, _n, fast_master, _s = make_pair(access_latency=0.0)
+        done_fast = []
+
+        def proc_fast():
+            yield fast_master.read(15, 0)
+            done_fast.append(sim_fast.now)
+
+        sim_fast.spawn(proc_fast())
+        sim_fast.run()
+
+        sim_slow, _n, slow_master, _s = make_pair(access_latency=100.0)
+        done_slow = []
+
+        def proc_slow():
+            yield slow_master.read(15, 0)
+            done_slow.append(sim_slow.now)
+
+        sim_slow.spawn(proc_slow())
+        sim_slow.run()
+        assert done_slow[0] - done_fast[0] == pytest.approx(100.0)
+
+
+class TestCustomHandler:
+    def test_handler_computes_response(self):
+        sim = Simulator()
+        net = Network(sim, mesh(16))
+        master = OcpMaster(net, 0)
+        OcpSlave(net, 15, handler=lambda txn: txn.address * 2)
+        out = []
+
+        def proc():
+            value = yield master.read(15, 21)
+            out.append(value)
+
+        sim.spawn(proc())
+        sim.run()
+        assert out == [42]
+
+    def test_served_counter(self):
+        sim = Simulator()
+        net = Network(sim, mesh(16))
+        master = OcpMaster(net, 0)
+        slave = OcpSlave(net, 15)
+
+        def proc():
+            for i in range(5):
+                yield master.read(15, i)
+
+        sim.spawn(proc())
+        sim.run()
+        assert slave.served == 5
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        net = Network(sim, mesh(16))
+        with pytest.raises(ValueError):
+            OcpSlave(net, 15, access_latency=-1.0)
+
+
+class TestMultiMaster:
+    def test_two_masters_one_slave(self):
+        sim = Simulator()
+        net = Network(sim, mesh(16))
+        m0 = OcpMaster(net, 0)
+        m1 = OcpMaster(net, 3)
+        OcpSlave(net, 15)
+        out = []
+
+        def proc(master, tag):
+            yield master.write(15, hash(tag) % 100, tag)
+            value = yield master.read(15, hash(tag) % 100)
+            out.append((tag, value))
+
+        sim.spawn(proc(m0, "a"))
+        sim.spawn(proc(m1, "b"))
+        sim.run()
+        assert sorted(out) == [("a", "a"), ("b", "b")]

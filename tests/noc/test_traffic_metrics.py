@@ -1,0 +1,152 @@
+"""Unit tests for traffic patterns and the measurement harness."""
+
+import pytest
+
+from repro.noc.metrics import NocMetrics, saturation_load, simulate_traffic
+from repro.noc.network import Network
+from repro.noc.topology import bus, crossbar, mesh
+from repro.noc.traffic import TrafficGenerator, TrafficPattern
+from repro.sim.core import Simulator
+from repro.sim.rng import RandomStreams
+
+
+class TestPatterns:
+    def test_uniform_never_self(self):
+        import random
+
+        rng = random.Random(1)
+        for src in range(16):
+            for _ in range(50):
+                dst = TrafficPattern.UNIFORM.destination(src, 16, rng)
+                assert dst != src
+                assert 0 <= dst < 16
+
+    def test_transpose_deterministic(self):
+        import random
+
+        rng = random.Random(1)
+        a = TrafficPattern.TRANSPOSE.destination(5, 16, rng)
+        b = TrafficPattern.TRANSPOSE.destination(5, 16, rng)
+        assert a == b
+
+    def test_transpose_swaps_halves(self):
+        import random
+
+        rng = random.Random(1)
+        # 16 terminals -> 4 bits; transpose swaps hi/lo pairs.
+        assert TrafficPattern.TRANSPOSE.destination(0b0110, 16, rng) == 0b1001
+
+    def test_bit_complement(self):
+        import random
+
+        rng = random.Random(1)
+        assert TrafficPattern.BIT_COMPLEMENT.destination(0b0101, 16, rng) == 0b1010
+
+    def test_neighbor_ring(self):
+        import random
+
+        rng = random.Random(1)
+        assert TrafficPattern.NEIGHBOR.destination(15, 16, rng) == 0
+
+    def test_hotspot_concentrates(self):
+        import random
+
+        rng = random.Random(1)
+        hits = sum(
+            TrafficPattern.HOTSPOT.destination(3, 16, rng, hotspot=0,
+                                               hotspot_fraction=0.8) == 0
+            for _ in range(1000)
+        )
+        assert hits > 700
+
+
+class TestGenerator:
+    def test_injects_packets(self):
+        sim = Simulator()
+        net = Network(sim, mesh(16))
+        gen = TrafficGenerator(net, TrafficPattern.UNIFORM, 0.1,
+                               streams=RandomStreams(1))
+        gen.start(1000.0)
+        sim.run(until=1000.0)
+        assert len(gen.sent) > 0
+        assert net.delivered_packets > 0
+
+    def test_load_validation(self):
+        sim = Simulator()
+        net = Network(sim, mesh(16))
+        with pytest.raises(ValueError):
+            TrafficGenerator(net, TrafficPattern.UNIFORM, 0.0)
+
+    def test_offered_load_approximated(self):
+        sim = Simulator()
+        net = Network(sim, mesh(16))
+        gen = TrafficGenerator(net, TrafficPattern.UNIFORM, 0.2,
+                               packet_size=4, streams=RandomStreams(1))
+        gen.start(5000.0)
+        sim.run(until=5000.0)
+        offered = len(gen.sent) * 4 / (16 * 5000.0)
+        assert offered == pytest.approx(0.2, rel=0.15)
+
+    def test_seeded_runs_reproduce(self):
+        def run():
+            sim = Simulator()
+            net = Network(sim, mesh(16))
+            gen = TrafficGenerator(net, TrafficPattern.UNIFORM, 0.1,
+                                   streams=RandomStreams(7))
+            gen.start(2000.0)
+            sim.run(until=2000.0)
+            return [(p.src, p.dst, p.injected_at) for p in gen.sent]
+
+        assert run() == run()
+
+
+class TestSimulateTraffic:
+    def test_returns_metrics(self):
+        metrics = simulate_traffic(
+            mesh(16), TrafficPattern.UNIFORM, 0.1,
+            duration=2000.0, warmup=500.0,
+        )
+        assert isinstance(metrics, NocMetrics)
+        assert metrics.avg_latency > 0
+        assert 0 < metrics.accepted_load <= 0.15
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            simulate_traffic(mesh(16), TrafficPattern.UNIFORM, 0.1,
+                             duration=100.0, warmup=100.0)
+
+    def test_low_load_unsaturated_mesh(self):
+        metrics = simulate_traffic(mesh(16), TrafficPattern.UNIFORM, 0.05,
+                                   duration=3000.0, warmup=500.0)
+        assert not metrics.saturated
+
+    def test_bus_saturates_at_moderate_load(self):
+        """The paper's motivation to move away from shared buses."""
+        metrics = simulate_traffic(bus(16), TrafficPattern.UNIFORM, 0.3,
+                                   duration=3000.0, warmup=500.0)
+        assert metrics.saturated
+
+    def test_crossbar_handles_heavy_uniform_load(self):
+        metrics = simulate_traffic(crossbar(16), TrafficPattern.UNIFORM, 0.5,
+                                   duration=3000.0, warmup=500.0)
+        assert not metrics.saturated
+
+    def test_as_row_keys(self):
+        metrics = simulate_traffic(mesh(16), TrafficPattern.UNIFORM, 0.05,
+                                   duration=1000.0, warmup=200.0)
+        row = metrics.as_row()
+        assert {"topology", "pattern", "offered", "accepted",
+                "avg_latency"} <= set(row)
+
+    def test_saturation_load_bus_below_mesh(self):
+        bus_sat = saturation_load(
+            bus(16), TrafficPattern.UNIFORM,
+            loads=[0.05, 0.1, 0.2, 0.4, 0.8],
+            duration=2000.0, warmup=400.0,
+        )
+        mesh_sat = saturation_load(
+            mesh(16), TrafficPattern.UNIFORM,
+            loads=[0.05, 0.1, 0.2, 0.4, 0.8],
+            duration=2000.0, warmup=400.0,
+        )
+        assert bus_sat < mesh_sat

@@ -1,0 +1,232 @@
+"""Unit tests for processor classes, DSP, ASIP, eFPGA, HW IP, I/O."""
+
+import pytest
+
+from repro.processors.asip import AsipModel, Specialization
+from repro.processors.classes import (
+    FIGURE1_CLASSES,
+    ProcessorKind,
+    figure1_series,
+    pareto_front,
+    pick_vehicle,
+)
+from repro.processors.dsp import DspModel, STANDARD_KERNELS
+from repro.processors.efpga import (
+    EFPGA_AREA_PENALTY,
+    EFPGA_POWER_PENALTY,
+    EfpgaFabric,
+)
+from repro.processors.hwip import MPEG2_DECODER, VITERBI, HardwiredIp
+from repro.processors.ioblocks import STANDARD_IO_FAMILIES, IoBlock
+
+
+class TestFigure1Classes:
+    def test_all_seven_vehicles_present(self):
+        assert len(FIGURE1_CLASSES) == 7
+
+    def test_risc_is_reference(self):
+        risc = FIGURE1_CLASSES[ProcessorKind.GENERAL_PURPOSE_RISC]
+        assert risc.relative_performance == 1.0
+        assert risc.flexibility == 1.0
+
+    def test_hardwired_extreme_differentiation(self):
+        hardwired = FIGURE1_CLASSES[ProcessorKind.HARDWIRED]
+        risc = FIGURE1_CLASSES[ProcessorKind.GENERAL_PURPOSE_RISC]
+        assert hardwired.differentiation() > 20 * risc.differentiation()
+        assert hardwired.flexibility < 0.1
+
+    def test_figure1_is_a_real_tradeoff(self):
+        """Every vehicle is Pareto-optimal: you cannot gain
+        differentiation without losing flexibility."""
+        assert len(pareto_front()) == len(FIGURE1_CLASSES)
+
+    def test_series_rows(self):
+        rows = figure1_series()
+        assert len(rows) == 7
+        assert all("flexibility" in row for row in rows)
+
+    def test_pick_vehicle_respects_floor(self):
+        chosen = pick_vehicle(required_flexibility=0.8)
+        assert chosen.flexibility >= 0.8
+
+    def test_pick_vehicle_maximizes_differentiation(self):
+        chosen = pick_vehicle(required_flexibility=0.0)
+        assert chosen.kind is ProcessorKind.HARDWIRED
+
+    def test_pick_vehicle_validation(self):
+        with pytest.raises(ValueError):
+            pick_vehicle(1.5)
+
+
+class TestDsp:
+    def test_fir_speedup_over_risc(self):
+        dsp = DspModel(mac_units=2)
+        speedup = dsp.speedup_vs_risc(STANDARD_KERNELS["fir"], 256)
+        assert speedup > 2.0
+
+    def test_more_macs_fewer_cycles(self):
+        small = DspModel(mac_units=1)
+        big = DspModel(mac_units=8)
+        kernel = STANDARD_KERNELS["fir"]
+        assert big.kernel_cycles(kernel, 256) < small.kernel_cycles(kernel, 256)
+
+    def test_amdahl_limits_speedup(self):
+        huge = DspModel(mac_units=1000)
+        kernel = STANDARD_KERNELS["iir_biquad"]  # 0.9 parallel fraction
+        reference = kernel.reference_cycles(256)
+        assert huge.kernel_cycles(kernel, 256) > reference * 0.09
+
+    def test_kernel_size_validation(self):
+        with pytest.raises(ValueError):
+            STANDARD_KERNELS["fir"].reference_cycles(0)
+
+    def test_mac_validation(self):
+        with pytest.raises(ValueError):
+            DspModel(mac_units=0)
+
+    def test_time_uses_clock(self):
+        slow = DspModel(clock_mhz=100.0)
+        fast = DspModel(clock_mhz=400.0)
+        kernel = STANDARD_KERNELS["fft"]
+        assert slow.kernel_time_us(kernel, 64) == pytest.approx(
+            4 * fast.kernel_time_us(kernel, 64)
+        )
+
+
+class TestAsip:
+    def test_extension_speedup_amdahl(self):
+        asip = AsipModel()
+        asip.add_extension(Specialization("csum", 4, 0.5, 5000))
+        # 50% at 4x: 1 / (0.5 + 0.125) = 1.6
+        assert asip.speedup() == pytest.approx(1.6)
+
+    def test_overlapping_coverage_rejected(self):
+        asip = AsipModel()
+        asip.add_extension(Specialization("a", 2, 0.7, 1000))
+        with pytest.raises(ValueError, match="sum"):
+            asip.add_extension(Specialization("b", 2, 0.5, 1000))
+
+    def test_duplicate_name_rejected(self):
+        asip = AsipModel()
+        asip.add_extension(Specialization("a", 2, 0.1, 1000))
+        with pytest.raises(ValueError, match="duplicate"):
+            asip.add_extension(Specialization("a", 2, 0.1, 1000))
+
+    def test_area_accumulates(self):
+        asip = AsipModel(base_gates=30_000)
+        asip.add_extension(Specialization("a", 3, 0.3, 7000))
+        assert asip.total_gates() == 37_000
+
+    def test_specialization_validation(self):
+        with pytest.raises(ValueError):
+            Specialization("x", 1, 0.5, 100)
+        with pytest.raises(ValueError):
+            Specialization("x", 2, 0.0, 100)
+        with pytest.raises(ValueError):
+            Specialization("x", 2, 0.5, -1)
+
+    def test_efficiency_gain_tuple(self):
+        asip = AsipModel()
+        asip.add_extension(Specialization("a", 4, 0.4, 12_000))
+        speedup, area_ratio = asip.efficiency_gain()
+        assert speedup > 1.0
+        assert area_ratio > 1.0
+
+    def test_mips_scales_with_speedup(self):
+        base = AsipModel()
+        extended = AsipModel()
+        extended.add_extension(Specialization("a", 4, 0.5, 1000))
+        assert extended.mips() > base.mips()
+
+
+class TestEfpga:
+    def test_paper_10x_penalties(self):
+        """Section 6.3: 'the 10X cost and power penalty of eFPGA's'."""
+        assert EFPGA_AREA_PENALTY == 10.0
+        assert EFPGA_POWER_PENALTY == 10.0
+
+    def test_full_fabric_area_ratio_is_10x(self):
+        fabric = EfpgaFabric(luts=1000)
+        fabric.map_function("f", asic_gates=8000)  # exactly fills 1000 LUTs
+        assert fabric.area_vs_hardwired() == pytest.approx(10.0)
+
+    def test_underutilized_fabric_is_worse_than_10x(self):
+        fabric = EfpgaFabric(luts=10_000)
+        fabric.map_function("tiny", asic_gates=800)  # 1% occupancy
+        assert fabric.area_vs_hardwired() > 50
+
+    def test_capacity_enforced(self):
+        fabric = EfpgaFabric(luts=100)
+        with pytest.raises(ValueError, match="LUT"):
+            fabric.map_function("big", asic_gates=10_000)
+
+    def test_unmap_reclaims(self):
+        fabric = EfpgaFabric(luts=1000)
+        fabric.map_function("f", 4000)
+        used = fabric.luts_used
+        fabric.unmap("f")
+        assert fabric.luts_used == 0
+        assert used > 0
+
+    def test_duplicate_mapping_rejected(self):
+        fabric = EfpgaFabric(luts=1000)
+        fabric.map_function("f", 400)
+        with pytest.raises(ValueError, match="already"):
+            fabric.map_function("f", 400)
+
+    def test_suitability_guidance(self):
+        """Repeatable regular functions suit the fabric; time-division
+        multiplexing of many tasks does not (Section 6.3)."""
+        fabric = EfpgaFabric()
+        assert fabric.suitability(0.9, 0.9) > fabric.suitability(0.9, 0.2)
+
+    def test_power_ratio(self):
+        fabric = EfpgaFabric(luts=1000)
+        fabric.map_function("f", 4000)
+        assert fabric.power_vs_hardwired() == pytest.approx(10.0)
+
+
+class TestHwIp:
+    def test_service_cycles_pipeline(self):
+        # latency + (n-1)/throughput
+        assert VITERBI.service_cycles(1) == pytest.approx(64.0)
+        assert VITERBI.service_cycles(11) == pytest.approx(74.0)
+
+    def test_items_validation(self):
+        with pytest.raises(ValueError):
+            MPEG2_DECODER.service_cycles(0)
+
+    def test_throughput_validation(self):
+        with pytest.raises(ValueError):
+            HardwiredIp("bad", 0.0, 1.0, 100, 1.0)
+
+    def test_mpeg2_sustains_sd_video(self):
+        """SD MPEG-2: 1350 macroblocks/frame * 30 fps at 100 MHz."""
+        mb_per_second = 1350 * 30
+        cycles_per_second = 100e6
+        cycles_needed = MPEG2_DECODER.service_cycles(mb_per_second)
+        assert cycles_needed < cycles_per_second
+
+
+class TestIoBlocks:
+    def test_paper_dozen_families(self):
+        """Section 6.4: 'a dozen main I/O families'."""
+        assert len(STANDARD_IO_FAMILIES) == 12
+
+    def test_spi4_worst_case_arrival(self):
+        """40-byte packets at 10 Gb/s, 500 MHz clock: one per 16 cycles."""
+        spi4 = STANDARD_IO_FAMILIES["spi4"]
+        assert spi4.packet_interarrival_cycles(40, 0.5) == pytest.approx(16.0)
+
+    def test_bytes_per_cycle(self):
+        spi4 = STANDARD_IO_FAMILIES["spi4"]
+        assert spi4.bytes_per_cycle(0.5) == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IoBlock("bad", 0.0, 1.0, 100, "x")
+        spi4 = STANDARD_IO_FAMILIES["spi4"]
+        with pytest.raises(ValueError):
+            spi4.bytes_per_cycle(0.0)
+        with pytest.raises(ValueError):
+            spi4.packet_interarrival_cycles(0, 0.5)

@@ -1,0 +1,143 @@
+"""Unit tests for the hardware-multithreaded PE (experiment E11)."""
+
+import pytest
+
+from repro.processors.multithread import (
+    HardwareMultithreadedPE,
+    ideal_utilization,
+    run_latency_hiding_experiment,
+)
+from repro.sim.core import SimulationError, Simulator, Timeout
+
+
+class TestConstruction:
+    def test_thread_count_validation(self):
+        with pytest.raises(SimulationError):
+            HardwareMultithreadedPE(Simulator(), num_threads=0)
+
+    def test_swap_cost_validation(self):
+        with pytest.raises(SimulationError):
+            HardwareMultithreadedPE(Simulator(), swap_cycles=-1.0)
+
+    def test_context_limit_enforced(self):
+        sim = Simulator()
+        pe = HardwareMultithreadedPE(sim, num_threads=1)
+
+        def body(ctx):
+            yield from ctx.compute(1)
+
+        pe.spawn_thread(body)
+        with pytest.raises(SimulationError):
+            pe.spawn_thread(body)
+
+
+class TestExecution:
+    def test_single_thread_full_utilization_without_stalls(self):
+        sim = Simulator()
+        pe = HardwareMultithreadedPE(sim, num_threads=1)
+
+        def body(ctx):
+            while ctx.sim.now < 1000:
+                yield from ctx.compute(10)
+
+        pe.spawn_thread(body)
+        sim.run(until=1000)
+        assert pe.utilization() == pytest.approx(1.0, abs=0.02)
+
+    def test_single_thread_stalls_cut_utilization(self):
+        result = run_latency_hiding_experiment(1, 20, 100, duration=10_000)
+        assert result["utilization"] == pytest.approx(20 / 120, abs=0.01)
+
+    def test_core_never_runs_two_threads_at_once(self):
+        sim = Simulator()
+        pe = HardwareMultithreadedPE(sim, num_threads=4, swap_cycles=0.0)
+        active = []
+        violations = []
+
+        def body(ctx):
+            for _ in range(20):
+                yield ctx.pe._acquire(ctx.thread_id)
+                active.append(ctx.thread_id)
+                if len(active) > 1:
+                    violations.append(list(active))
+                yield Timeout(3)
+                active.remove(ctx.thread_id)
+                ctx.pe._busy_cycles += 3
+                ctx.pe._release()
+                yield from ctx.remote_delay(5)
+
+        for _ in range(4):
+            pe.spawn_thread(body)
+        sim.run()
+        assert not violations
+
+
+class TestLatencyHiding:
+    def test_utilization_grows_with_threads(self):
+        utils = [
+            run_latency_hiding_experiment(n, 20, 100, duration=10_000)[
+                "utilization"
+            ]
+            for n in (1, 2, 4, 8)
+        ]
+        assert utils == sorted(utils)
+        assert utils[-1] > 4 * utils[0] * 0.9
+
+    def test_paper_claim_high_utilization_at_100_cycles(self):
+        """Section 7.2: near-100% utilization despite >100-cycle latency."""
+        result = run_latency_hiding_experiment(8, 20, 100, duration=20_000)
+        assert result["utilization"] > 0.90
+
+    def test_matches_analytic_bound_when_unsaturated(self):
+        for threads in (1, 2, 3):
+            result = run_latency_hiding_experiment(
+                threads, 20, 100, duration=20_000, swap_cycles=0.0
+            )
+            assert result["utilization"] == pytest.approx(
+                result["ideal"], abs=0.02
+            )
+
+    def test_ideal_utilization_formula(self):
+        assert ideal_utilization(1, 20, 100) == pytest.approx(20 / 120)
+        assert ideal_utilization(6, 20, 100) == pytest.approx(1.0)
+
+    def test_ideal_validation(self):
+        with pytest.raises(ValueError):
+            ideal_utilization(0, 20, 100)
+        with pytest.raises(ValueError):
+            ideal_utilization(1, 0, 100)
+        with pytest.raises(ValueError):
+            ideal_utilization(1, 20, -1)
+
+
+class TestSwapOverhead:
+    def test_software_switch_cost_hurts(self):
+        """Ablation: a 100-cycle software context switch vs the paper's
+        1-cycle hardware swap."""
+        hw = run_latency_hiding_experiment(4, 20, 100, swap_cycles=1.0,
+                                           duration=20_000)
+        sw = run_latency_hiding_experiment(4, 20, 100, swap_cycles=100.0,
+                                           duration=20_000)
+        assert sw["utilization"] < hw["utilization"] * 0.5
+
+    def test_zero_swap_reaches_ideal(self):
+        result = run_latency_hiding_experiment(8, 20, 100, swap_cycles=0.0,
+                                               duration=20_000)
+        assert result["utilization"] == pytest.approx(1.0, abs=0.02)
+
+    def test_occupancy_includes_swap(self):
+        result = run_latency_hiding_experiment(8, 20, 100, swap_cycles=1.0,
+                                               duration=20_000)
+        assert result["occupancy"] >= result["utilization"]
+
+
+class TestThroughput:
+    def test_throughput_scales_with_threads_until_saturation(self):
+        t1 = run_latency_hiding_experiment(1, 20, 100, duration=20_000)
+        t4 = run_latency_hiding_experiment(4, 20, 100, duration=20_000)
+        assert t4["throughput"] == pytest.approx(4 * t1["throughput"], rel=0.1)
+
+    def test_throughput_capped_at_core_rate(self):
+        result = run_latency_hiding_experiment(16, 20, 100, duration=20_000)
+        # One item needs >= 20 compute cycles + 1 swap.
+        assert result["throughput"] <= 1 / 20.0

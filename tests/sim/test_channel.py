@@ -1,0 +1,129 @@
+"""Unit tests for Channel and LatencyChannel."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator, Timeout
+from repro.sim.channel import Channel, LatencyChannel
+
+
+class TestChannel:
+    def test_send_receive(self):
+        sim = Simulator()
+        channel = Channel(sim)
+        log = []
+
+        def consumer():
+            message = yield channel.receive()
+            log.append(message)
+
+        sim.spawn(consumer())
+        channel.send("hello")
+        sim.run()
+        assert log == ["hello"]
+
+    def test_depth_and_delivered(self):
+        sim = Simulator()
+        channel = Channel(sim)
+        channel.send(1)
+        channel.send(2)
+        assert channel.depth == 2
+        channel.receive()
+        sim.run()
+        assert channel.delivered == 1
+
+    def test_preserves_order(self):
+        sim = Simulator()
+        channel = Channel(sim)
+        log = []
+
+        def consumer():
+            for _ in range(3):
+                message = yield channel.receive()
+                log.append(message)
+
+        sim.spawn(consumer())
+        for i in range(3):
+            channel.send(i)
+        sim.run()
+        assert log == [0, 1, 2]
+
+
+class TestLatencyChannel:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyChannel(Simulator(), latency=-1)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyChannel(Simulator(), latency=1, bandwidth=0)
+
+    def test_message_arrives_after_latency(self):
+        sim = Simulator()
+        channel = LatencyChannel(sim, latency=25)
+        log = []
+
+        def consumer():
+            message = yield channel.receive()
+            log.append((message, sim.now))
+
+        sim.spawn(consumer())
+        channel.send("msg")
+        sim.run()
+        assert log == [("msg", 25.0)]
+
+    def test_bandwidth_serializes_messages(self):
+        sim = Simulator()
+        # 0.1 msgs/cycle -> one message every 10 cycles.
+        channel = LatencyChannel(sim, latency=5, bandwidth=0.1)
+        log = []
+
+        def consumer():
+            for _ in range(3):
+                message = yield channel.receive()
+                log.append((message, sim.now))
+
+        sim.spawn(consumer())
+        for i in range(3):
+            channel.send(i)
+        sim.run()
+        # Starts at 0, 10, 20; arrivals at +5.
+        assert [t for _m, t in log] == [5.0, 15.0, 25.0]
+
+    def test_infinite_bandwidth_no_serialization(self):
+        sim = Simulator()
+        channel = LatencyChannel(sim, latency=3)
+        log = []
+
+        def consumer():
+            for _ in range(2):
+                message = yield channel.receive()
+                log.append(sim.now)
+
+        sim.spawn(consumer())
+        channel.send("a")
+        channel.send("b")
+        sim.run()
+        assert log == [3.0, 3.0]
+
+    def test_sent_counter(self):
+        sim = Simulator()
+        channel = LatencyChannel(sim, latency=1)
+        channel.send(1)
+        channel.send(2)
+        assert channel.sent == 2
+
+    def test_order_preserved_through_latency(self):
+        sim = Simulator()
+        channel = LatencyChannel(sim, latency=10, bandwidth=1.0)
+        log = []
+
+        def consumer():
+            for _ in range(5):
+                message = yield channel.receive()
+                log.append(message)
+
+        sim.spawn(consumer())
+        for i in range(5):
+            channel.send(i)
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]

@@ -1,0 +1,225 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator, Timeout
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_grant_immediate_when_free(self):
+        sim = Simulator()
+        res = Resource(sim)
+        grant = res.request()
+        assert grant.triggered
+        assert res.in_use == 1
+
+    def test_release_without_hold_raises(self):
+        res = Resource(Simulator())
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def worker(i):
+            yield res.request()
+            order.append(i)
+            yield Timeout(1)
+            res.release()
+
+        for i in range(4):
+            sim.spawn(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_capacity_two_admits_two(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        finish = []
+
+        def worker(i):
+            yield res.request()
+            yield Timeout(10)
+            res.release()
+            finish.append((i, sim.now))
+
+        for i in range(4):
+            sim.spawn(worker(i))
+        sim.run()
+        assert [t for _i, t in finish] == [10.0, 10.0, 20.0, 20.0]
+
+    def test_queue_length_tracks_waiters(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.queue_length == 2
+
+    def test_utilization_full_load(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield from res.use(10)
+
+        sim.spawn(worker())
+        sim.run()
+        assert res.utilization() == pytest.approx(1.0)
+
+    def test_utilization_half_load(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield from res.use(10)
+            yield Timeout(10)
+
+        sim.spawn(worker())
+        sim.run()
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_grants_counter(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+
+        def worker():
+            yield from res.use(1)
+
+        for _ in range(5):
+            sim.spawn(worker())
+        sim.run()
+        assert res.grants == 5
+
+    def test_use_releases_on_completion(self):
+        sim = Simulator()
+        res = Resource(sim)
+
+        def worker():
+            yield from res.use(5)
+
+        sim.spawn(worker())
+        sim.run()
+        assert res.in_use == 0
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("item")
+        got = store.get()
+        assert got.triggered
+        assert got.value == "item"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        log = []
+
+        def consumer():
+            item = yield store.get()
+            log.append((item, sim.now))
+
+        def producer():
+            yield Timeout(7)
+            store.put("late")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert log == [("late", 7.0)]
+
+    def test_fifo_ordering(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+        got = [store.get().value for _ in range(5)]
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_bounded_put_blocks_when_full(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        log = []
+
+        def producer():
+            for i in range(4):
+                yield store.put(i)
+                log.append((i, sim.now))
+
+        def consumer():
+            yield Timeout(10)
+            yield store.get()
+            yield store.get()
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        # First two puts immediate; the rest wait for the consumer at t=10.
+        assert log[0][1] == 0.0 and log[1][1] == 0.0
+        assert log[2][1] == 10.0 and log[3][1] == 10.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_try_put_respects_capacity(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        assert store.try_put("a")
+        assert not store.try_put("b")
+        assert len(store) == 1
+
+    def test_try_get_empty(self):
+        ok, item = Store(Simulator()).try_get()
+        assert not ok
+        assert item is None
+
+    def test_try_get_returns_item(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(3)
+        ok, item = store.try_get()
+        assert ok and item == 3
+
+    def test_put_hands_directly_to_waiting_getter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        log = []
+
+        def consumer():
+            item = yield store.get()
+            log.append(item)
+
+        sim.spawn(consumer())
+        sim.run()  # consumer now waiting
+        store.put("direct")
+        sim.run()
+        assert log == ["direct"]
+        assert len(store) == 0
+
+    def test_peak_occupancy(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(7):
+            store.put(i)
+        for _ in range(3):
+            store.get()
+        assert store.peak_occupancy == 7
+
+    def test_counters(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        store.get()
+        assert store.total_puts == 2
+        assert store.total_gets == 1

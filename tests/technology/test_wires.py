@@ -1,0 +1,115 @@
+"""Unit tests for the wire-delay models (experiment E9 foundations)."""
+
+import pytest
+
+from repro.technology.node import node, node_names
+from repro.technology.wires import (
+    WireModel,
+    corner_to_corner_cycles,
+    critical_length_mm,
+    cross_chip_cycles,
+    repeated_wire_delay_ps_per_mm,
+    repeater_count,
+    unrepeated_wire_delay_ps,
+    wire_bandwidth_gbps,
+)
+
+
+class TestRepeatedWireDelay:
+    def test_reference_value_at_180nm(self):
+        assert repeated_wire_delay_ps_per_mm(node("180nm")) == pytest.approx(55.0)
+
+    def test_delay_per_mm_worsens_with_scaling(self):
+        values = [
+            repeated_wire_delay_ps_per_mm(node(n)) for n in node_names()
+        ]
+        assert values == sorted(values)
+
+    def test_paper_claim_6_to_10_cycles_at_50nm(self):
+        """Section 6.1: 6-10 clock cycles across a 50nm die."""
+        cycles = cross_chip_cycles(node("50nm"), die_edge_mm=15.0)
+        assert 6.0 <= cycles <= 10.0
+
+    def test_sub_cycle_at_180nm(self):
+        """Wires were not the problem at 180nm."""
+        assert cross_chip_cycles(node("180nm"), die_edge_mm=15.0) < 1.0
+
+    def test_cycles_increase_monotonically_with_scaling(self):
+        values = [
+            cross_chip_cycles(node(n), die_edge_mm=15.0) for n in node_names()
+        ]
+        assert values == sorted(values)
+
+    def test_corner_to_corner_doubles_edge(self):
+        p = node("90nm")
+        assert corner_to_corner_cycles(p, 10.0) == pytest.approx(
+            2 * cross_chip_cycles(p, 10.0)
+        )
+
+    def test_die_edge_validation(self):
+        with pytest.raises(ValueError):
+            cross_chip_cycles(node("90nm"), die_edge_mm=0.0)
+
+    def test_clock_override(self):
+        p = node("90nm")
+        slow = cross_chip_cycles(p, 15.0, clock_ghz=0.5)
+        fast = cross_chip_cycles(p, 15.0, clock_ghz=5.0)
+        assert fast == pytest.approx(10 * slow)
+
+
+class TestUnrepeatedWire:
+    def test_quadratic_in_length(self):
+        p = node("130nm")
+        d1 = unrepeated_wire_delay_ps(p, 1.0)
+        d2 = unrepeated_wire_delay_ps(p, 2.0)
+        assert d2 == pytest.approx(4 * d1)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            unrepeated_wire_delay_ps(node("130nm"), -1.0)
+
+    def test_repeaters_win_beyond_critical_length(self):
+        p = node("90nm")
+        crit = critical_length_mm(p)
+        long = 3 * crit
+        assert unrepeated_wire_delay_ps(p, long) > (
+            repeated_wire_delay_ps_per_mm(p) * long
+        )
+
+
+class TestWireModel:
+    def test_for_node_consistency(self):
+        model = WireModel.for_node("65nm", die_edge_mm=12.0)
+        assert model.cross_chip_ps == pytest.approx(
+            model.repeated_ps_per_mm * 12.0
+        )
+        assert model.cross_chip_cycles == pytest.approx(
+            model.cross_chip_ps * node("65nm").clock_ghz / 1000.0
+        )
+
+    def test_noc_hop_budget_exceeds_raw_wire(self):
+        """Section 6.1: a complex NoC exhibits latencies many times the
+        raw propagation delay."""
+        model = WireModel.for_node("50nm")
+        assert model.noc_hop_budget(8) > 2 * model.cross_chip_cycles
+
+    def test_noc_hop_budget_validation(self):
+        with pytest.raises(ValueError):
+            WireModel.for_node("50nm").noc_hop_budget(0)
+
+
+class TestAncillary:
+    def test_repeater_count_increases_with_length(self):
+        p = node("65nm")
+        assert repeater_count(p, 20.0) > repeater_count(p, 5.0)
+
+    def test_bandwidth_positive_and_scales_with_clock(self):
+        slow = wire_bandwidth_gbps(node("180nm"))
+        fast = wire_bandwidth_gbps(node("45nm"))
+        assert fast > slow > 0
+
+    def test_bandwidth_denser_pitch_gives_more(self):
+        p = node("90nm")
+        dense = wire_bandwidth_gbps(p, wire_pitch_um=0.5)
+        sparse = wire_bandwidth_gbps(p, wire_pitch_um=2.0)
+        assert dense == pytest.approx(4 * sparse)

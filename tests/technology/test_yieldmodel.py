@@ -1,0 +1,98 @@
+"""Unit tests for yield and die-cost models."""
+
+import pytest
+
+from repro.technology.node import node
+from repro.technology.yieldmodel import (
+    YieldModel,
+    dice_per_wafer,
+    die_cost_usd,
+    negative_binomial_yield,
+    repaired_yield,
+)
+
+
+class TestNegativeBinomialYield:
+    def test_zero_defects_perfect_yield(self):
+        assert negative_binomial_yield(100.0, 0.0) == pytest.approx(1.0)
+
+    def test_yield_decreases_with_area(self):
+        small = negative_binomial_yield(50.0, 0.5)
+        large = negative_binomial_yield(200.0, 0.5)
+        assert large < small
+
+    def test_yield_decreases_with_defects(self):
+        clean = negative_binomial_yield(100.0, 0.1)
+        dirty = negative_binomial_yield(100.0, 1.0)
+        assert dirty < clean
+
+    def test_yield_in_unit_interval(self):
+        y = negative_binomial_yield(300.0, 0.8)
+        assert 0.0 < y < 1.0
+
+    def test_area_validation(self):
+        with pytest.raises(ValueError):
+            negative_binomial_yield(0.0, 0.5)
+
+    def test_defect_validation(self):
+        with pytest.raises(ValueError):
+            negative_binomial_yield(100.0, -0.1)
+
+
+class TestDicePerWafer:
+    def test_smaller_die_more_dice(self):
+        assert dice_per_wafer(50.0, 300) > dice_per_wafer(200.0, 300)
+
+    def test_bigger_wafer_more_dice(self):
+        assert dice_per_wafer(100.0, 300) > dice_per_wafer(100.0, 200)
+
+    def test_sane_count_for_typical_die(self):
+        count = dice_per_wafer(100.0, 300)
+        assert 400 < count < 707  # below the zero-edge-loss bound
+
+
+class TestDieCost:
+    def test_cost_positive(self):
+        assert die_cost_usd(node("130nm"), 80.0) > 0
+
+    def test_larger_die_costs_superlinearly_more(self):
+        p = node("90nm")
+        small = die_cost_usd(p, 50.0)
+        large = die_cost_usd(p, 200.0)
+        assert large > 4 * small  # 4x area, worse yield
+
+    def test_oversized_die_rejected(self):
+        with pytest.raises(ValueError):
+            die_cost_usd(node("90nm"), 90_000.0)
+
+
+class TestRepair:
+    def test_repair_improves_yield(self):
+        assert repaired_yield(0.5, 0.6) > 0.5
+
+    def test_no_repairable_area_no_change(self):
+        assert repaired_yield(0.7, 0.0) == pytest.approx(0.7)
+
+    def test_bounded_by_one(self):
+        assert repaired_yield(0.9, 1.0, 1.0) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            repaired_yield(1.5, 0.5)
+
+
+class TestYieldModel:
+    def test_for_die_consistency(self):
+        model = YieldModel.for_die(node("90nm"), 100.0)
+        assert model.good_dice == pytest.approx(
+            model.gross_dice * model.yield_fraction
+        )
+        assert model.die_cost == pytest.approx(
+            node("90nm").wafer_cost_usd / model.good_dice
+        )
+
+    def test_memory_redundancy_helps(self):
+        plain = YieldModel.for_die(node("65nm"), 150.0, memory_fraction=0.0)
+        repaired = YieldModel.for_die(node("65nm"), 150.0, memory_fraction=0.5)
+        assert repaired.yield_fraction > plain.yield_fraction
+        assert repaired.die_cost < plain.die_cost
