@@ -1,44 +1,13 @@
 """Ablation A1: NoC router pipeline depth.
 
-DESIGN.md section 5 flags the router pipeline delay as a design choice
-to ablate: deeper router pipelines raise zero-load latency linearly in
-hop count but leave saturation throughput (a link property) unchanged.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A1``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.noc.metrics import simulate_traffic
-from repro.noc.topology import mesh
-from repro.noc.traffic import TrafficPattern
-
-
-def sweep_router_delay(delays=(1.0, 2.0, 4.0, 8.0)):
-    rows = []
-    for delay in delays:
-        metrics = simulate_traffic(
-            mesh(16),
-            TrafficPattern.UNIFORM,
-            offered_load=0.2,
-            duration=4000.0,
-            warmup=1000.0,
-            router_delay=delay,
-        )
-        rows.append(
-            {
-                "router_delay": delay,
-                "avg_latency": round(metrics.avg_latency, 2),
-                "accepted": round(metrics.accepted_load, 3),
-                "saturated": metrics.saturated,
-            }
-        )
-    return rows
+from repro.engine.bench import run_scenario_bench
 
 
 def test_router_delay_ablation(benchmark):
-    rows = benchmark.pedantic(sweep_router_delay, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    latencies = [row["avg_latency"] for row in rows]
-    assert latencies == sorted(latencies), "latency must rise with pipe depth"
-    # Throughput at this moderate load is unaffected by router depth.
-    accepted = [row["accepted"] for row in rows]
-    assert max(accepted) - min(accepted) < 0.02
+    run_scenario_bench("A1", benchmark)

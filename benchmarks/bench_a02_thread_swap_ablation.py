@@ -1,42 +1,13 @@
 """Ablation A2: hardware vs software thread swap cost.
 
-The paper's Section 6.2 claims hardware multithreading swaps threads
-"in one cycle".  This ablation quantifies why that matters: sweeping
-the swap cost from the 1-cycle hardware figure to a 200-cycle software
-context switch shows utilization collapsing for OS-style switching.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A2``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.processors.multithread import run_latency_hiding_experiment
-
-
-def sweep_swap_cost(costs=(0.0, 1.0, 10.0, 50.0, 200.0)):
-    rows = []
-    for cost in costs:
-        result = run_latency_hiding_experiment(
-            num_threads=8,
-            compute_cycles=20.0,
-            remote_latency=100.0,
-            duration=20_000.0,
-            swap_cycles=cost,
-        )
-        rows.append(
-            {
-                "swap_cycles": cost,
-                "utilization": round(result["utilization"], 3),
-                "occupancy": round(result["occupancy"], 3),
-                "throughput": round(result["throughput"], 4),
-            }
-        )
-    return rows
+from repro.engine.bench import run_scenario_bench
 
 
 def test_thread_swap_ablation(benchmark):
-    rows = benchmark.pedantic(sweep_swap_cost, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    utils = [row["utilization"] for row in rows]
-    assert utils == sorted(utils, reverse=True)
-    by_cost = {row["swap_cycles"]: row["utilization"] for row in rows}
-    assert by_cost[1.0] > 0.9          # the paper's 1-cycle HW swap
-    assert by_cost[200.0] < 0.4        # an OS context switch
+    run_scenario_bench("A2", benchmark)

@@ -1,48 +1,13 @@
 """Ablation A3: LPM trie stride width.
 
-The NPSE-style search engine trades SRAM footprint against lookup
-accesses: wider strides mean fewer memory reads per lookup (lower
-latency/energy per packet) but more controlled-prefix-expansion blowup
-(more SRAM).  This bench quantifies the knee over strides 2-8.
-
-Stride 16 is excluded deliberately: with a realistic /16-/24-heavy
-table, every distinct 16-bit prefix top allocates a 65536-entry
-second-level node, exploding to gigabytes at 20K prefixes — the
-measured reason real search engines (NPSE included) use 4-8-bit
-strides.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A3``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.apps.trafficgen import random_prefix_table
-from repro.apps.lpm import LpmTrie
-
-
-def sweep_stride(strides=(2, 4, 8), prefixes=20_000):
-    table = random_prefix_table(prefixes, seed=5)
-    probes = [(p | 0x0101) & 0xFFFFFFFF for p, _l, _h in table[:400]]
-    rows = []
-    for stride in strides:
-        trie = LpmTrie(stride=stride)
-        for prefix, length, hop in table:
-            trie.insert(prefix, length, hop)
-        stats = trie.stats()
-        accesses = [trie.lookup(addr)[1] for addr in probes]
-        rows.append(
-            {
-                "stride": stride,
-                "sram_kb": round(stats.sram_kbytes, 1),
-                "avg_accesses": round(sum(accesses) / len(accesses), 2),
-                "worst_accesses": stats.worst_case_accesses,
-            }
-        )
-    return rows
+from repro.engine.bench import run_scenario_bench
 
 
 def test_lpm_stride_ablation(benchmark):
-    rows = benchmark.pedantic(sweep_stride, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    accesses = [row["avg_accesses"] for row in rows]
-    assert accesses == sorted(accesses, reverse=True)
-    srams = [row["sram_kb"] for row in rows]
-    assert srams[-1] > srams[0], "wider stride pays in SRAM"
+    run_scenario_bench("A3", benchmark)

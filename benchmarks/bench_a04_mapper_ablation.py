@@ -1,56 +1,13 @@
 """Ablation A4: mapper quality vs optimization cost.
 
-Compares the constructive mappers against simulated annealing at
-increasing iteration budgets: how much makespan each additional unit of
-optimization time buys — the MultiFlex "assist and automate
-optimization where possible" tradeoff.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A4``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-import time
-
-from repro.analysis.report import format_table
-from repro.mapping.anneal import anneal_map
-from repro.mapping.dse import make_platform_model
-from repro.mapping.evaluate import evaluate_mapping
-from repro.mapping.mapper import MAPPERS, run_mapper
-from repro.mapping.taskgraph import layered_random_graph
-
-
-def mapper_cost_quality(tasks=60, num_pes=8, seed=3):
-    graph = layered_random_graph(tasks, layers=6, seed=seed)
-    platform = make_platform_model(num_pes, "mesh", dsp_fraction=0.25)
-    rows = []
-    for name in sorted(MAPPERS):
-        start = time.perf_counter()
-        mapping = run_mapper(name, graph, platform)
-        elapsed = time.perf_counter() - start
-        cost = evaluate_mapping(graph, platform, mapping)
-        rows.append(
-            {
-                "mapper": name,
-                "makespan": round(cost.makespan_cycles, 1),
-                "map_time_ms": round(elapsed * 1000, 2),
-            }
-        )
-    for iterations in (200, 1000, 3000):
-        start = time.perf_counter()
-        mapping = anneal_map(graph, platform, iterations=iterations)
-        elapsed = time.perf_counter() - start
-        cost = evaluate_mapping(graph, platform, mapping)
-        rows.append(
-            {
-                "mapper": f"anneal-{iterations}",
-                "makespan": round(cost.makespan_cycles, 1),
-                "map_time_ms": round(elapsed * 1000, 2),
-            }
-        )
-    return rows
+from repro.engine.bench import run_scenario_bench
 
 
 def test_mapper_ablation(benchmark):
-    rows = benchmark.pedantic(mapper_cost_quality, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    by_name = {row["mapper"]: row["makespan"] for row in rows}
-    assert by_name["comm_aware"] < by_name["random"]
-    assert by_name["anneal-3000"] <= by_name["anneal-200"] * 1.02
+    run_scenario_bench("A4", benchmark)

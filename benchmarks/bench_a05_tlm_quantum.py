@@ -1,23 +1,13 @@
 """Ablation A5: TLM quantum size vs simulation speed and accuracy.
 
-The paper's Section 4 TLM argument quantified: loosely-timed modeling
-with larger quanta costs fewer kernel events (faster simulation) while
-the back-annotated timing stays accurate.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A5``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.tlm.compare import quantum_sweep
+from repro.engine.bench import run_scenario_bench
 
 
 def test_tlm_quantum_sweep(benchmark):
-    rows = benchmark.pedantic(
-        lambda: quantum_sweep(quanta=(10.0, 100.0, 1000.0, 10_000.0),
-                              transactions=200),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(format_table(rows))
-    events = [row["tlm_events"] for row in rows]
-    assert events == sorted(events, reverse=True), "bigger quantum, fewer events"
-    assert all(row["event_ratio"] > 5 for row in rows)
-    assert all(row["timing_error"] < 0.25 for row in rows)
+    run_scenario_bench("A5", benchmark)

@@ -1,54 +1,13 @@
 """Ablation A6: SoC test scheduling vs TAM width.
 
-Section 4's "DFT has to evolve together with SoC complexity": test time
-for a 12-core StepNP-class SoC as the test access mechanism widens,
-against the serial-test baseline.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A6``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.dft.schedule import schedule_tests, serial_test_cycles
-from repro.dft.wrapper import CoreTestSpec
-
-
-def make_soc_cores(num_pes=12):
-    cores = [
-        CoreTestSpec(
-            name=f"pe{i}", inputs=64, outputs=64, scan_flops=8_000,
-            internal_chains=4, patterns=800, test_power_mw=40.0,
-        )
-        for i in range(num_pes)
-    ]
-    cores.append(
-        CoreTestSpec(
-            name="noc", inputs=256, outputs=256, scan_flops=20_000,
-            internal_chains=8, patterns=1200, test_power_mw=80.0,
-        )
-    )
-    return cores
-
-
-def sweep_tam_width(widths=(4, 8, 16, 32)):
-    cores = make_soc_cores()
-    rows = []
-    for width in widths:
-        schedule = schedule_tests(cores, tam_width=width)
-        rows.append(
-            {
-                "tam_width": width,
-                "schedule_cycles": schedule.total_cycles,
-                "serial_cycles": serial_test_cycles(cores, width),
-                "speedup_vs_serial": round(
-                    serial_test_cycles(cores, width) / schedule.total_cycles, 2
-                ),
-            }
-        )
-    return rows
+from repro.engine.bench import run_scenario_bench
 
 
 def test_dft_schedule_sweep(benchmark):
-    rows = benchmark.pedantic(sweep_tam_width, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    times = [row["schedule_cycles"] for row in rows]
-    assert times == sorted(times, reverse=True), "wider TAM, faster test"
-    assert rows[-1]["speedup_vs_serial"] > 1.5
+    run_scenario_bench("A6", benchmark)

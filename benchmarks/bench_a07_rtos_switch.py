@@ -1,52 +1,13 @@
 """Ablation A7: hardware vs software OS scheduling cost.
 
-Section 5.2: "part of the O/S services will need to be performed in
-hardware."  Sweeps the context-switch cost through RTA on a periodic
-task set: the set schedules under a 1-cycle hardware scheduler, loses
-all margin, then becomes infeasible under software-kernel costs.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A7``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.rtos.schedulability import (
-    PeriodicTaskSpec,
-    max_context_switch_cost,
-    response_time_analysis,
-    schedulable,
-)
-
-TASK_SET = [
-    PeriodicTaskSpec("isr", period=80, wcet=10),
-    PeriodicTaskSpec("codec", period=200, wcet=70),
-    PeriodicTaskSpec("control", period=500, wcet=120),
-]
-
-
-def sweep_switch_cost(costs=(0.0, 1.0, 5.0, 15.0, 30.0)):
-    rows = []
-    for cost in costs:
-        responses = response_time_analysis(TASK_SET, context_switch=cost)
-        rows.append(
-            {
-                "switch_cycles": cost,
-                "r_isr": responses["isr"],
-                "r_codec": responses["codec"],
-                "r_control": responses["control"],
-                "schedulable": schedulable(TASK_SET, cost),
-            }
-        )
-    rows.append(
-        {
-            "switch_cycles": f"limit={max_context_switch_cost(TASK_SET):.1f}",
-            "r_isr": "-", "r_codec": "-", "r_control": "-",
-            "schedulable": "-",
-        }
-    )
-    return rows
+from repro.engine.bench import run_scenario_bench
 
 
 def test_rtos_switch_cost(benchmark):
-    rows = benchmark.pedantic(sweep_switch_cost, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    assert rows[1]["schedulable"] is True      # 1-cycle hardware swap
-    assert rows[4]["schedulable"] is False     # 30-cycle software kernel
+    run_scenario_bench("A7", benchmark)

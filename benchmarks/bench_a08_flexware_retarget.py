@@ -1,41 +1,13 @@
 """Ablation A8: FlexWare retargeting across the processor spectrum.
 
-One FIR source program costed on GP RISC, MAC-fusing DSP, and an ASIP
-with a tap instruction — the Figure-1 differentiation axis derived
-bottom-up from code, plus an executed-on-ISS correctness check.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A8``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.flexware.codegen import compile_to_risc
-from repro.flexware.ir import fir_ir
-from repro.flexware.targets import retargeting_report
-
-
-def retarget_fir(taps=32):
-    program = fir_ir(taps=taps)
-    rows = retargeting_report(program)
-    # Correctness anchor: the RISC-compiled binary computes the same
-    # dot product the reference evaluator does.
-    memory = {i: i + 1 for i in range(taps)}
-    memory.update({0x200 + i: 2 for i in range(taps)})
-    sample_base, coeff_base = program.inputs
-    expected = program.evaluate(
-        {sample_base: 0, coeff_base: 0x200}, memory=dict(memory)
-    )
-    compiled = compile_to_risc(program)
-    result, cpu = compiled.run(
-        {sample_base: 0, coeff_base: 0x200}, memory=memory
-    )
-    assert result == expected
-    for row in rows:
-        row["iss_verified"] = row["target"] != "gp_risc" or result == expected
-        row["iss_cycles"] = cpu.cycles if row["target"] == "gp_risc" else "-"
-    return rows
+from repro.engine.bench import run_scenario_bench
 
 
 def test_flexware_retargeting(benchmark):
-    rows = benchmark.pedantic(retarget_fir, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    order = [row["target"] for row in rows]
-    assert order == ["asip", "dsp", "gp_risc"]
+    run_scenario_bench("A8", benchmark)

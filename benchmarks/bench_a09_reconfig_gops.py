@@ -1,95 +1,13 @@
 """Ablation A9: the 1-GOPS reconfigurable signal-processing IC.
 
-Section 8's first bullet: a configurable RISC core plus an eFPGA fabric
-implementing application-specific instruction extensions.  Runs a SAD
-kernel with and without the fabric extension and reports sustained
-GOPS at the IC's 200 MHz class clock.
+Thin shim over the scenario engine: the sweep logic lives in
+:mod:`repro.analysis.ablations` (scenario ``A9``) and is shared with
+``python -m repro run --tags ablation``.  The benchmark reports the
+runtime of the full ablation and asserts its verdict booleans.
 """
 
-from repro.analysis.report import format_table
-from repro.processors.reconfigurable import (
-    STANDARD_EXTENSIONS,
-    gops_estimate,
-    run_extended,
-)
-
-_EXTENDED_KERNEL = """
-    li r1, 0x10203040
-    li r2, 0x0F213F42
-    li r4, 100
-loop:
-    xop0 r3, r1, r2
-    xop0 r5, r1, r2
-    xop0 r6, r1, r2
-    xop0 r7, r1, r2
-    subi r4, r4, 1
-    bne r4, r0, loop
-    halt
-"""
-
-# The same four SADs in base ISA (one byte lane shown x4 via shifts).
-_BASE_KERNEL_HEADER = """
-    li r1, 0x10203040
-    li r2, 0x0F213F42
-    li r4, 100
-loop:
-"""
-_BASE_SAD = "".join(
-    f"""
-    shri r5, r1, {shift}
-    andi r5, r5, 0xFF
-    shri r6, r2, {shift}
-    andi r6, r6, 0xFF
-    sub r7, r5, r6
-    blt r7, r0, neg{tag}_{shift}
-    jmp pos{tag}_{shift}
-neg{tag}_{shift}:
-    sub r7, r0, r7
-pos{tag}_{shift}:
-    add r3, r3, r7
-"""
-    for tag in range(4)
-    for shift in (0, 8, 16, 24)
-)
-_BASE_KERNEL = (
-    _BASE_KERNEL_HEADER
-    + "    li r3, 0\n"
-    + _BASE_SAD
-    + """
-    subi r4, r4, 1
-    bne r4, r0, loop
-    halt
-"""
-)
-
-
-def gops_comparison():
-    extended = run_extended(_EXTENDED_KERNEL,
-                            {0: STANDARD_EXTENSIONS["sad8"]})
-    base = run_extended(_BASE_KERNEL, {})
-    return [
-        {
-            "configuration": "risc+efpga(sad8)",
-            "cycles": extended.cycles,
-            "gops@200MHz": round(gops_estimate(extended, 200.0), 2),
-        },
-        {
-            "configuration": "base risc",
-            "cycles": base.cycles,
-            "gops@200MHz": round(gops_estimate(base, 200.0), 2),
-        },
-    ]
+from repro.engine.bench import run_scenario_bench
 
 
 def test_reconfigurable_gops(benchmark):
-    rows = benchmark.pedantic(gops_comparison, rounds=1, iterations=1)
-    print()
-    print(format_table(rows))
-    by_config = {row["configuration"]: row for row in rows}
-    # The paper's IC claims 1 GOPS; the base RISC manages a fraction.
-    assert by_config["risc+efpga(sad8)"]["gops@200MHz"] > 0.9
-    assert by_config["base risc"]["gops@200MHz"] < 0.3
-    assert (
-        by_config["base risc"]["cycles"]
-        > 5 * by_config["risc+efpga(sad8)"]["cycles"]
-    )
+    run_scenario_bench("A9", benchmark)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Drive every registered benchmark through the scenario engine.
+
+Emits one uniform JSON file for the perf-trajectory ``BENCH_*.json``
+tooling: per scenario, its name, params, headline metric and wall
+time, plus a run-level header (code version, worker count, totals).
+
+Run:  python benchmarks/run_all.py [--tags ablation] [--workers 4]
+      [--out BENCH_RESULTS.json] [--cache DIR]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine import registry                          # noqa: E402
+from repro.engine.cache import ResultCache, compute_code_version  # noqa: E402
+from repro.engine.executor import execute                  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tags", default=None,
+        help="comma-separated tag filter (default: every scenario)",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument("--out", default="BENCH_RESULTS.json")
+    parser.add_argument(
+        "--cache", default=None,
+        help="optional result-cache directory (benchmarks default to "
+        "uncached so wall times are real)",
+    )
+    args = parser.parse_args(argv)
+
+    tags = (
+        [t.strip() for t in args.tags.split(",") if t.strip()]
+        if args.tags
+        else None
+    )
+    entries = registry.select(tags=tags)
+    specs = [e.spec for e in entries]
+    cache = ResultCache(args.cache) if args.cache else None
+    report = execute(
+        specs,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        cache=cache,
+        progress=lambda r: print(
+            f"  {r.name:<14} {r.status:<7} {r.elapsed_s:.2f}s", flush=True
+        ),
+    )
+
+    benchmarks = []
+    for result in report:
+        metric, value = result.headline_metric()
+        benchmarks.append(
+            {
+                "scenario": result.name,
+                "params": result.params,
+                "tags": list(result.tags),
+                "status": result.status,
+                "headline_metric": {"name": metric, "value": value},
+                "wall_time_s": round(result.elapsed_s, 4),
+                "cached": result.cached,
+            }
+        )
+    payload = {
+        "schema": "repro-bench-v1",
+        "code_version": compute_code_version(),
+        "workers": args.workers,
+        "scenarios": len(benchmarks),
+        "failed": len(report.failed),
+        "total_wall_time_s": round(
+            sum(r.elapsed_s for r in report.executed), 3
+        ),
+        "benchmarks": benchmarks,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=1, default=str))
+    print(f"\nwrote {args.out}: {len(benchmarks)} scenarios, "
+          f"{len(report.failed)} failed")
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,10 @@ This walks the paper's whole stack in ~60 lines:
 4. deploy it replicated across the processor array;
 5. invoke it from a client and read the platform metrics.
 
+Then it hands the same stack to the scenario engine: every experiment
+and ablation in this repo is a registered scenario, runnable in batch
+(``python -m repro run --tags smoke --workers 4``).
+
 Run:  python examples/quickstart.py
 """
 
@@ -65,6 +69,28 @@ def main():
     print(f"requests served across replicas: {runtime.total_served('crypto')}")
     print(f"average PE utilization: {platform.average_pe_utilization():.3f}")
     assert len(results) == 64
+
+    # 6. The scenario engine: the batch interface over every workload.
+    engine_demo()
+
+
+def engine_demo():
+    """Run two registered scenarios through the engine, serially."""
+    from repro.engine import execute, registry
+
+    print()
+    print("scenario engine: "
+          f"{len(registry.all_scenarios())} registered scenarios, tags "
+          f"{', '.join(sorted(registry.all_tags()))}")
+    specs = [entry.spec for entry in registry.select(names=["E1", "A7"])]
+    report = execute(specs, workers=1)
+    print(report.render())
+    print()
+    print("CLI equivalents:")
+    print("  python -m repro list --tags smoke")
+    print("  python -m repro run --tags ablation --workers 8 "
+          "--cache .repro_cache")
+    print("  python -m repro run --names E1 A7 --out report.json")
 
 
 if __name__ == "__main__":

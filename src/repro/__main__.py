@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro`` drives the scenario engine CLI."""
+
+from repro.engine.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

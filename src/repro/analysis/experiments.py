@@ -55,8 +55,10 @@ from repro.processors.multithread import (
 from repro.technology.node import node, node_names, nodes_between
 from repro.technology.power import PowerModel, dvs_energy_delay, multi_vt_optimize
 from repro.technology.wires import WireModel
+from repro.engine.registry import registered, scenario
 
 
+@scenario("E1", tags=("experiments", "economics", "smoke"))
 def e01_mask_nre() -> dict:
     """E1: mask NRE x10 in ~3 generations, > $1M at 90 nm."""
     rows = [
@@ -80,6 +82,7 @@ def e01_mask_nre() -> dict:
     }
 
 
+@scenario("E2", tags=("experiments", "economics", "smoke"))
 def e02_mask_breakeven() -> dict:
     """E2: $5 chip, 20% margin -> >1M units to recover the 90nm mask."""
     rows = []
@@ -100,6 +103,7 @@ def e02_mask_breakeven() -> dict:
     }
 
 
+@scenario("E3", tags=("experiments", "economics", "smoke"))
 def e03_design_breakeven() -> dict:
     """E3: $10-100M design NRE at 0.13um -> 10-100M units break-even."""
     rows = []
@@ -126,6 +130,7 @@ def e03_design_breakeven() -> dict:
     }
 
 
+@scenario("E4", tags=("experiments", "economics", "smoke"))
 def e04_risc_equivalents() -> dict:
     """E4: 100M+ transistors ~= the logic of >1000 32-bit RISC cores."""
     rows = []
@@ -155,6 +160,7 @@ def e04_risc_equivalents() -> dict:
     }
 
 
+@scenario("E5", tags=("experiments", "economics", "smoke"))
 def e05_alternatives() -> dict:
     """E5: the NRE-flexibility continuum and its volume crossovers."""
     volumes = [1_000, 5_000, 20_000, 100_000, 500_000, 2_000_000, 10_000_000]
@@ -186,6 +192,7 @@ def e05_alternatives() -> dict:
     }
 
 
+@scenario("E6", tags=("experiments", "economics", "smoke"))
 def e06_productivity() -> dict:
     """E6: design productivity declines at 90nm and beyond."""
     rows = [
@@ -208,6 +215,7 @@ def e06_productivity() -> dict:
     }
 
 
+@scenario("E7", tags=("experiments", "economics", "smoke"))
 def e07_hw_sw_growth() -> dict:
     """E7: HW +56%/yr vs SW +140%/yr; SW effort overtakes HW."""
     rows = complexity_table(1997, 2008)
@@ -226,6 +234,7 @@ def e07_hw_sw_growth() -> dict:
     }
 
 
+@scenario("E8", tags=("experiments", "processors", "smoke"))
 def e08_figure1() -> dict:
     """E8: the Figure-1 flexibility/differentiation spectrum."""
     rows = figure1_series()
@@ -250,6 +259,7 @@ def e08_figure1() -> dict:
     }
 
 
+@scenario("E9", tags=("experiments", "technology", "noc", "smoke"))
 def e09_wire_delay() -> dict:
     """E9: 6-10 cycles to cross a 50nm die; NoC latencies much larger."""
     rows = []
@@ -282,6 +292,12 @@ def e09_wire_delay() -> dict:
     }
 
 
+@scenario(
+    "E10",
+    tags=("experiments", "noc"),
+    params={"terminals": 16, "loads": (0.05, 0.15, 0.3, 0.5),
+            "duration": 4000.0},
+)
 def e10_noc_topologies(
     terminals: int = 16,
     loads: tuple = (0.05, 0.15, 0.3, 0.5),
@@ -334,6 +350,12 @@ def e10_noc_topologies(
     }
 
 
+@scenario(
+    "E11",
+    tags=("experiments", "processors", "smoke"),
+    params={"thread_counts": (1, 2, 4, 8, 16),
+            "latencies": (10, 50, 100, 200), "compute_cycles": 20.0},
+)
 def e11_multithreading(
     thread_counts: tuple = (1, 2, 4, 8, 16),
     latencies: tuple = (10, 50, 100, 200),
@@ -379,6 +401,11 @@ def e11_multithreading(
     }
 
 
+@scenario(
+    "E12",
+    tags=("experiments", "economics", "efpga", "smoke"),
+    params={"shares": (0.0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.30)},
+)
 def e12_efpga_share(shares: tuple = (0.0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.30)) -> dict:
     """E12: the 10x eFPGA penalty restricts it to <5% of functionality."""
     rows = []
@@ -410,6 +437,7 @@ def e12_efpga_share(shares: tuple = (0.0, 0.01, 0.03, 0.05, 0.10, 0.20, 0.30)) -
     }
 
 
+@scenario("E13", tags=("experiments", "platform", "smoke"))
 def e13_fppa_composition() -> dict:
     """E13: the Figure-2 FPPA platform instance."""
     rows = []
@@ -435,6 +463,14 @@ def e13_fppa_composition() -> dict:
     }
 
 
+@scenario(
+    "E14",
+    tags=("experiments", "apps", "noc"),
+    params={"thread_counts": (1, 2, 4, 8), "packets": 1200,
+            "extra_table_latency": 100.0},
+    # single-thread failing to hold line rate is the negative control
+    expected_false=("line_rate_without_mt",),
+)
 def e14_ipv4_stepnp(
     thread_counts: tuple = (1, 2, 4, 8),
     packets: int = 1200,
@@ -470,6 +506,11 @@ def e14_ipv4_stepnp(
     }
 
 
+@scenario(
+    "E15",
+    tags=("experiments", "mapping"),
+    params={"tasks": 60, "num_pes": 8, "seed": 3},
+)
 def e15_mapping(tasks: int = 60, num_pes: int = 8, seed: int = 3) -> dict:
     """E15: automated mapping beats naive placement."""
     graph = layered_random_graph(tasks, layers=6, seed=seed)
@@ -510,6 +551,7 @@ def e15_mapping(tasks: int = 60, num_pes: int = 8, seed: int = 3) -> dict:
     }
 
 
+@scenario("E16", tags=("experiments", "technology", "power", "smoke"))
 def e16_low_power() -> dict:
     """E16: multi-Vt, back-bias and voltage-scaling levers."""
     process = node("90nm")
@@ -563,6 +605,11 @@ def e16_low_power() -> dict:
     }
 
 
+@scenario(
+    "E17",
+    tags=("experiments", "memory", "smoke"),
+    params={"working_sets": (0.0625, 0.25, 1.0, 4.0, 16.0, 64.0)},
+)
 def e17_memory_tradeoff(
     working_sets: tuple = (0.0625, 0.25, 1.0, 4.0, 16.0, 64.0),
 ) -> dict:
@@ -598,6 +645,11 @@ def e17_memory_tradeoff(
     }
 
 
+@scenario(
+    "E18",
+    tags=("experiments", "apps"),
+    params={"table_sizes": (1_000, 10_000, 100_000)},
+)
 def e18_npse_vs_cam(table_sizes: tuple = (1_000, 10_000, 100_000)) -> dict:
     """E18: SRAM-trie search engine vs CAM on memory and power."""
     rows = []
@@ -638,24 +690,9 @@ def e18_npse_vs_cam(table_sizes: tuple = (1_000, 10_000, 100_000)) -> dict:
     }
 
 
-#: Registry for the benchmark harness and the EXPERIMENTS.md generator.
+#: Back-compat view for the benchmark harness and the EXPERIMENTS.md
+#: generator, derived from the engine registry (the registrations the
+#: @scenario decorators above performed).
 ALL_EXPERIMENTS: Dict[str, Callable[[], dict]] = {
-    "E1": e01_mask_nre,
-    "E2": e02_mask_breakeven,
-    "E3": e03_design_breakeven,
-    "E4": e04_risc_equivalents,
-    "E5": e05_alternatives,
-    "E6": e06_productivity,
-    "E7": e07_hw_sw_growth,
-    "E8": e08_figure1,
-    "E9": e09_wire_delay,
-    "E10": e10_noc_topologies,
-    "E11": e11_multithreading,
-    "E12": e12_efpga_share,
-    "E13": e13_fppa_composition,
-    "E14": e14_ipv4_stepnp,
-    "E15": e15_mapping,
-    "E16": e16_low_power,
-    "E17": e17_memory_tradeoff,
-    "E18": e18_npse_vs_cam,
+    entry.name: entry.fn for entry in registered(__name__)
 }

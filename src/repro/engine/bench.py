@@ -1,0 +1,38 @@
+"""pytest-benchmark bridge for engine scenarios.
+
+The ``benchmarks/bench_a*.py`` shims all do the same thing: run one
+registered scenario under the benchmark fixture, print its table, and
+assert its verdict.  That lives here so verdict semantics (including
+negative controls) stay in one place.
+"""
+
+from __future__ import annotations
+
+from repro.engine import registry
+from repro.engine.executor import run_spec
+from repro.engine.results import ScenarioResult
+
+
+def run_scenario_bench(name: str, benchmark) -> ScenarioResult:
+    """Run scenario ``name`` once under pytest-benchmark and assert it.
+
+    Prints the scenario's row table (visible with ``-s``), fails the
+    test on an error/timeout result or any failed verdict boolean, and
+    returns the :class:`ScenarioResult` for extra assertions.
+    """
+    from repro.analysis.report import format_table
+
+    spec = registry.get(name).spec
+    result = benchmark.pedantic(
+        lambda: run_spec(spec), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(result.rows))
+    assert result.ok, f"{name} {result.status}: {result.error}"
+    failed = {
+        k: v
+        for k, v in result.verdict.items()
+        if isinstance(v, bool) and not v and k not in result.expected_false
+    }
+    assert not failed, f"{name} verdict failed: {failed}"
+    return result

@@ -1,0 +1,102 @@
+"""On-disk JSON result cache keyed by spec hash + code version.
+
+A cache entry is one JSON file ``<root>/<code_version>/<spec_hash>.json``
+holding a serialized :class:`ScenarioResult`.  The code version is a
+digest over every ``src/repro/**/*.py`` source file, so *any* source
+change invalidates the whole cache — coarse but sound: re-running a
+sweep after an edit only re-executes, never replays stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+
+_CODE_VERSION: Optional[str] = None
+
+
+def compute_code_version(root: Optional[Path] = None) -> str:
+    """Digest of the repro package sources (memoized per process)."""
+    global _CODE_VERSION
+    if root is None:
+        if _CODE_VERSION is not None:
+            return _CODE_VERSION
+        root = Path(__file__).resolve().parents[1]  # src/repro
+    digest = hashlib.sha256()
+    for path in sorted(Path(root).rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    version = digest.hexdigest()[:12]
+    if root == Path(__file__).resolve().parents[1]:
+        _CODE_VERSION = version
+    return version
+
+
+class ResultCache:
+    """Content-addressed store of successful scenario results."""
+
+    def __init__(
+        self, root: str | Path, code_version: Optional[str] = None
+    ):
+        self.root = Path(root)
+        self.code_version = code_version or compute_code_version()
+        self._dir = self.root / self.code_version
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self._dir / f"{spec.content_hash}.json"
+
+    def get(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        """The cached result for this spec under the current code, or None."""
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            result = ScenarioResult.from_dict(data)
+        except (ValueError, KeyError, TypeError):
+            return None  # corrupt entry: treat as a miss
+        return result.as_cached()
+
+    def put(self, result: ScenarioResult) -> Path:
+        path = self._dir / f"{result.spec_hash}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = result.to_dict()
+        payload["code_version"] = self.code_version
+        payload["cached"] = False  # stored fresh; marked cached on read
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, default=str))
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, spec: ScenarioSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def entries(self) -> list:
+        """All results stored under the current code version."""
+        if not self._dir.is_dir():
+            return []
+        results = []
+        for path in sorted(self._dir.glob("*.json")):
+            try:
+                results.append(
+                    ScenarioResult.from_dict(json.loads(path.read_text()))
+                )
+            except (ValueError, KeyError, TypeError):
+                continue
+        return results
+
+    def clear(self) -> int:
+        """Drop every entry (all code versions); returns files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

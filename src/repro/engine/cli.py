@@ -1,0 +1,192 @@
+"""``python -m repro`` — run, list and report scenarios.
+
+Examples::
+
+    python -m repro list
+    python -m repro list --tags ablation,noc
+    python -m repro run --tags smoke --workers 2
+    python -m repro run --names E10 E14 --workers 4 --cache .repro_cache
+    python -m repro run --tags experiments --out report.json
+    python -m repro report report.json --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.engine import registry
+from repro.engine.cache import ResultCache
+from repro.engine.executor import execute
+from repro.engine.results import Report, ScenarioResult
+
+
+def _split_tags(value: Optional[str]) -> Optional[List[str]]:
+    if not value:
+        return None
+    return [t.strip() for t in value.split(",") if t.strip()]
+
+
+def _selected(args) -> list:
+    tags = _split_tags(args.tags)
+    names = args.names or None
+    return registry.select(tags=tags, names=names)
+
+
+def cmd_list(args) -> int:
+    from repro.analysis.report import format_table
+
+    entries = _selected(args)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [e.spec.to_dict() | {"doc": e.doc} for e in entries],
+                indent=1,
+            )
+        )
+        return 0
+    rows = [
+        {
+            "scenario": e.name,
+            "tags": ",".join(sorted(e.spec.tags)),
+            "module": e.module.replace("repro.", ""),
+            "doc": e.doc[:60],
+        }
+        for e in entries
+    ]
+    print(format_table(rows) if rows else "(no scenarios match)")
+    print(f"\n{len(rows)} scenarios; tags: "
+          + ", ".join(f"{t}({n})" for t, n in registry.all_tags().items()))
+    return 0
+
+
+def cmd_run(args) -> int:
+    entries = _selected(args)
+    if not entries:
+        print("no scenarios selected", file=sys.stderr)
+        return 2
+    specs = [e.spec for e in entries]
+    cache = None if args.no_cache else ResultCache(args.cache)
+
+    def progress(result: ScenarioResult) -> None:
+        if args.quiet:
+            return
+        origin = "cached" if result.cached else result.backend
+        print(
+            f"  {result.name:<14} {result.status:<7} "
+            f"[{origin}] {result.elapsed_s:.2f}s",
+            flush=True,
+        )
+
+    report = execute(
+        specs,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        backend=args.backend,
+        cache=cache,
+        progress=progress,
+    )
+    if not args.quiet:
+        print()
+    print(report.render())
+    if args.out:
+        path = report.save(args.out)
+        print(f"\nwrote {path}")
+    return 1 if report.failed else 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import format_table, render_experiment
+
+    report = Report.load(args.path)
+    print(report.render())
+    if args.full:
+        for result in report:
+            print()
+            print(
+                render_experiment(
+                    result.name,
+                    {
+                        "claim": result.claim,
+                        "rows": result.rows,
+                        "verdict": result.verdict,
+                    },
+                )
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Scenario engine for the DAC'03 SoC reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_selection(p):
+        p.add_argument(
+            "--tags",
+            help="comma-separated tag filter (any-match), e.g. "
+            "'ablation,noc'",
+        )
+        p.add_argument(
+            "--names", nargs="*", help="explicit scenario names, e.g. E1 A3"
+        )
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    add_selection(p_list)
+    p_list.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="execute selected scenarios")
+    add_selection(p_run)
+    p_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (>1 enables the process backend)",
+    )
+    p_run.add_argument(
+        "--backend", choices=("auto", "serial", "process"), default="auto"
+    )
+    p_run.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (s)"
+    )
+    p_run.add_argument(
+        "--cache", default=".repro_cache",
+        help="result-cache directory (default .repro_cache)",
+    )
+    p_run.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    p_run.add_argument("--out", help="write the aggregated report JSON here")
+    p_run.add_argument("--quiet", action="store_true")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="render a saved report JSON"
+    )
+    p_report.add_argument("path")
+    p_report.add_argument(
+        "--full", action="store_true",
+        help="include every scenario's table, not just the summary",
+    )
+    p_report.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0
+    except (KeyError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

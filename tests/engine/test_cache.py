@@ -1,0 +1,126 @@
+"""Result cache: hit/miss behavior and code-version keying."""
+
+from repro.engine.cache import ResultCache, compute_code_version
+from repro.engine.executor import execute, run_spec
+from repro.engine.registry import get
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+
+
+def _result_for(spec, **overrides):
+    fields = dict(
+        name=spec.name,
+        spec_hash=spec.content_hash,
+        params=spec.params_dict(),
+        verdict={"won": True, "metric": 4.2},
+        rows=[{"a": 1}],
+        elapsed_s=0.5,
+    )
+    fields.update(overrides)
+    return ScenarioResult(**fields)
+
+
+class TestCacheStore:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        spec = ScenarioSpec("x", {"alpha": 1})
+        assert cache.get(spec) is None
+        cache.put(_result_for(spec))
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.cached and hit.backend == "cache"
+        assert hit.verdict == {"won": True, "metric": 4.2}
+        assert hit.rows == [{"a": 1}]
+
+    def test_different_params_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        spec = ScenarioSpec("x", {"alpha": 1})
+        cache.put(_result_for(spec))
+        assert cache.get(spec.with_params(alpha=2)) is None
+        assert cache.get(spec.with_seed(9)) is None
+
+    def test_code_version_invalidates(self, tmp_path):
+        spec = ScenarioSpec("x", {"alpha": 1})
+        old = ResultCache(tmp_path, code_version="v1")
+        old.put(_result_for(spec))
+        new = ResultCache(tmp_path, code_version="v2")
+        assert old.get(spec) is not None
+        assert new.get(spec) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        spec = ScenarioSpec("x")
+        path = cache.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        for alpha in (1, 2, 3):
+            spec = ScenarioSpec("x", {"alpha": alpha})
+            cache.put(_result_for(spec))
+        assert len(cache.entries()) == 3
+        assert cache.clear() == 3
+        assert cache.entries() == []
+
+
+class TestCodeVersion:
+    def test_tracks_source_contents(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("x = 1\n")
+        v1 = compute_code_version(pkg)
+        (pkg / "a.py").write_text("x = 2\n")
+        v2 = compute_code_version(pkg)
+        assert v1 != v2
+        (pkg / "a.py").write_text("x = 1\n")
+        assert compute_code_version(pkg) == v1
+
+    def test_repro_package_version_is_memoized(self):
+        assert compute_code_version() == compute_code_version()
+
+
+class TestExecutorCacheIntegration:
+    def test_second_run_executes_zero_and_matches(self, tmp_path):
+        specs = [get("E1").spec, get("E4").spec]
+        cache = ResultCache(tmp_path)
+        first = execute(specs, cache=cache)
+        assert len(first.executed) == 2 and not first.from_cache
+        second = execute(specs, cache=cache)
+        assert not second.executed
+        assert len(second.from_cache) == 2
+        for a, b in zip(first, second):
+            assert a.comparable_payload() == b.comparable_payload()
+
+    def test_failed_results_are_not_cached(self, tmp_path):
+        from repro.engine.registry import scenario, unregister
+
+        @scenario("_boom")
+        def _boom():
+            raise RuntimeError("no")
+
+        try:
+            spec = ScenarioSpec("_boom")
+            cache = ResultCache(tmp_path)
+            report = execute([spec], cache=cache)
+            assert report.results[0].status == "error"
+            assert "RuntimeError" in report.results[0].error
+            assert cache.get(spec) is None
+        finally:
+            unregister("_boom")
+
+    def test_error_result_survives_run_spec(self):
+        from repro.engine.registry import scenario, unregister
+
+        @scenario("_boom2")
+        def _boom2():
+            raise ValueError("bad input")
+
+        try:
+            result = run_spec(ScenarioSpec("_boom2"))
+            assert not result.ok
+            assert result.reproduced is None
+            assert "bad input" in result.error
+        finally:
+            unregister("_boom2")

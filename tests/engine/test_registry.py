@@ -1,0 +1,83 @@
+"""Registry: discovery, tag selection, and the unified namespace."""
+
+import pytest
+
+from repro.engine import registry
+from repro.engine.registry import scenario
+
+
+@pytest.fixture
+def temp_scenario():
+    @scenario("_tmp_scn", tags=("_tmp_tag",), params={"n": 2})
+    def _tmp(n=2):
+        return {"rows": [{"n": n}], "verdict": {"ok": True}}
+
+    yield registry.get("_tmp_scn")
+    registry.unregister("_tmp_scn")
+
+
+class TestDiscovery:
+    def test_all_workloads_registered(self):
+        names = {s.name for s in registry.all_scenarios()}
+        assert {f"E{i}" for i in range(1, 19)} <= names
+        assert {f"A{i}" for i in range(1, 10)} <= names
+        assert "DSE" in names
+
+    def test_natural_ordering(self):
+        names = [s.name for s in registry.select(tags=["experiments"])]
+        assert names == [f"E{i}" for i in range(1, 19)]
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            registry.get("E99")
+
+
+class TestSelection:
+    def test_tag_selection_ablations(self):
+        names = [s.name for s in registry.select(tags=["ablation"])]
+        assert names == [f"A{i}" for i in range(1, 10)]
+
+    def test_tag_selection_any_match(self):
+        noc = {s.name for s in registry.select(tags=["noc"])}
+        assert "A1" in noc and "E10" in noc
+        union = {s.name for s in registry.select(tags=["noc", "rtos"])}
+        assert noc < union and "A7" in union
+
+    def test_name_selection_and_union_with_tags(self):
+        picked = {s.name for s in registry.select(tags=["rtos"], names=["E1"])}
+        assert picked == {"A7", "E1"}
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError, match="E99"):
+            registry.select(names=["E99"])
+
+    def test_smoke_tag_is_fast_subset(self):
+        smoke = registry.select(tags=["smoke"])
+        assert 10 <= len(smoke) < len(registry.all_scenarios())
+
+    def test_no_filter_returns_everything(self):
+        assert registry.select() == registry.all_scenarios()
+
+
+class TestRegistration:
+    def test_decorator_registers_and_returns_fn(self, temp_scenario):
+        assert temp_scenario.spec.name == "_tmp_scn"
+        assert temp_scenario.fn(n=3) == {
+            "rows": [{"n": 3}],
+            "verdict": {"ok": True},
+        }
+
+    def test_conflicting_reregistration_raises(self, temp_scenario):
+        with pytest.raises(ValueError, match="already registered"):
+            @scenario("_tmp_scn")
+            def _other():
+                return {}
+
+    def test_back_compat_views_derive_from_registry(self):
+        from repro.analysis.ablations import ALL_ABLATIONS
+        from repro.analysis.experiments import ALL_EXPERIMENTS
+
+        assert len(ALL_EXPERIMENTS) == 18
+        assert len(ALL_ABLATIONS) == 9
+        for name, fn in ALL_EXPERIMENTS.items():
+            assert registry.get(name).fn is fn
