@@ -1,24 +1,22 @@
 #!/usr/bin/env python3
 """Drive every registered benchmark through the scenario engine.
 
-Emits one uniform JSON file for the perf-trajectory ``BENCH_*.json``
-tooling: per scenario, its name, params, headline metric and wall
-time, plus a run-level header (code version, worker count, totals).
+Thin wrapper over ``repro.engine.perf.run_bench`` (the same code behind
+``python -m repro bench``): emits the uniform ``BENCH_RESULTS.json``
+payload, appends a ``BENCH_TRAJECTORY.json`` entry and gates against
+the committed baseline with a configurable regression threshold.
 
 Run:  python benchmarks/run_all.py [--tags ablation] [--workers 4]
-      [--out BENCH_RESULTS.json] [--cache DIR]
+      [--out BENCH_RESULTS.json] [--cache DIR] [--threshold 0.25]
 """
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.engine import registry                          # noqa: E402
-from repro.engine.cache import ResultCache, compute_code_version  # noqa: E402
-from repro.engine.executor import execute                  # noqa: E402
+from repro.engine.perf import run_bench  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -35,6 +33,16 @@ def main(argv=None) -> int:
         help="optional result-cache directory (benchmarks default to "
         "uncached so wall times are real)",
     )
+    parser.add_argument(
+        "--trajectory", default="BENCH_TRAJECTORY.json",
+        help="append-only perf trajectory log ('' to skip)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline payload to gate against (default: --out before "
+        "this run); '' skips the gate",
+    )
+    parser.add_argument("--threshold", type=float, default=0.25)
     args = parser.parse_args(argv)
 
     tags = (
@@ -42,48 +50,16 @@ def main(argv=None) -> int:
         if args.tags
         else None
     )
-    entries = registry.select(tags=tags)
-    specs = [e.spec for e in entries]
-    cache = ResultCache(args.cache) if args.cache else None
-    report = execute(
-        specs,
+    return run_bench(
+        tags=tags,
         workers=args.workers,
         timeout_s=args.timeout,
-        cache=cache,
-        progress=lambda r: print(
-            f"  {r.name:<14} {r.status:<7} {r.elapsed_s:.2f}s", flush=True
-        ),
+        out=args.out,
+        trajectory=args.trajectory or None,
+        baseline=args.baseline,
+        threshold=args.threshold,
+        cache_dir=args.cache,
     )
-
-    benchmarks = []
-    for result in report:
-        metric, value = result.headline_metric()
-        benchmarks.append(
-            {
-                "scenario": result.name,
-                "params": result.params,
-                "tags": list(result.tags),
-                "status": result.status,
-                "headline_metric": {"name": metric, "value": value},
-                "wall_time_s": round(result.elapsed_s, 4),
-                "cached": result.cached,
-            }
-        )
-    payload = {
-        "schema": "repro-bench-v1",
-        "code_version": compute_code_version(),
-        "workers": args.workers,
-        "scenarios": len(benchmarks),
-        "failed": len(report.failed),
-        "total_wall_time_s": round(
-            sum(r.elapsed_s for r in report.executed), 3
-        ),
-        "benchmarks": benchmarks,
-    }
-    Path(args.out).write_text(json.dumps(payload, indent=1, default=str))
-    print(f"\nwrote {args.out}: {len(benchmarks)} scenarios, "
-          f"{len(report.failed)} failed")
-    return 1 if report.failed else 0
 
 
 if __name__ == "__main__":

@@ -18,7 +18,7 @@ from repro.apps.multimedia import (
     video_pipeline_graph,
 )
 from repro.mapping.dse import explore, make_platform_model, pareto_points
-from repro.mapping.evaluate import evaluate_mapping
+from repro.mapping.evaluator import MappingEvaluator
 from repro.mapping.mapper import MAPPERS, run_mapper
 from repro.noc.topology import TopologyKind
 
@@ -36,10 +36,11 @@ def main():
     print("1. Mapper comparison on an 8-PE mesh platform (25% DSPs)")
     print("=" * 72)
     platform = make_platform_model(8, "mesh", dsp_fraction=0.25)
+    evaluator = MappingEvaluator(graph, platform)
     rows = []
     for name in sorted(MAPPERS):
         mapping = run_mapper(name, graph, platform)
-        cost = evaluate_mapping(graph, platform, mapping, mapper_name=name)
+        cost = evaluator.evaluate(mapping, mapper_name=name)
         rows.append(cost.as_row())
     print(format_table(rows))
 

@@ -186,18 +186,19 @@ def mapper_cost_quality(tasks=60, num_pes=8, seed=3):
     """Constructive mappers vs annealing at rising iteration budgets."""
     from repro.mapping.anneal import anneal_map
     from repro.mapping.dse import make_platform_model
-    from repro.mapping.evaluate import evaluate_mapping
+    from repro.mapping.evaluator import MappingEvaluator
     from repro.mapping.mapper import MAPPERS, run_mapper
     from repro.mapping.taskgraph import layered_random_graph
 
     graph = layered_random_graph(tasks, layers=6, seed=seed)
     platform = make_platform_model(num_pes, "mesh", dsp_fraction=0.25)
+    evaluator = MappingEvaluator(graph, platform)
     rows = []
     for name in sorted(MAPPERS):
         start = time.perf_counter()
         mapping = run_mapper(name, graph, platform)
         elapsed = time.perf_counter() - start
-        cost = evaluate_mapping(graph, platform, mapping)
+        cost = evaluator.evaluate(mapping)
         rows.append(
             {
                 "mapper": name,
@@ -207,9 +208,11 @@ def mapper_cost_quality(tasks=60, num_pes=8, seed=3):
         )
     for iterations in (200, 1000, 3000):
         start = time.perf_counter()
-        mapping = anneal_map(graph, platform, iterations=iterations)
+        mapping = anneal_map(
+            graph, platform, iterations=iterations, evaluator=evaluator
+        )
         elapsed = time.perf_counter() - start
-        cost = evaluate_mapping(graph, platform, mapping)
+        cost = evaluator.evaluate(mapping)
         rows.append(
             {
                 "mapper": f"anneal-{iterations}",
@@ -222,7 +225,7 @@ def mapper_cost_quality(tasks=60, num_pes=8, seed=3):
 
 @scenario(
     "A4",
-    tags=("ablation", "mapping"),
+    tags=("ablation", "mapping", "perf"),
     params={"tasks": 60, "num_pes": 8, "seed": 3},
 )
 def a04_mapper_ablation(tasks=60, num_pes=8, seed=3) -> dict:

@@ -30,8 +30,8 @@ from repro.economics.productivity import (
     productivity_series,
 )
 from repro.mapping.anneal import anneal_map
+from repro.mapping.evaluator import MappingEvaluator
 from repro.mapping.dse import make_platform_model
-from repro.mapping.evaluate import evaluate_mapping
 from repro.mapping.mapper import MAPPERS, run_mapper
 from repro.mapping.taskgraph import layered_random_graph
 from repro.memory.tradeoff import architecture_tradeoff, best_architecture
@@ -294,7 +294,7 @@ def e09_wire_delay() -> dict:
 
 @scenario(
     "E10",
-    tags=("experiments", "noc"),
+    tags=("experiments", "noc", "perf"),
     params={"terminals": 16, "loads": (0.05, 0.15, 0.3, 0.5),
             "duration": 4000.0},
 )
@@ -465,7 +465,7 @@ def e13_fppa_composition() -> dict:
 
 @scenario(
     "E14",
-    tags=("experiments", "apps", "noc"),
+    tags=("experiments", "apps", "noc", "perf"),
     params={"thread_counts": (1, 2, 4, 8), "packets": 1200,
             "extra_table_latency": 100.0},
     # single-thread failing to hold line rate is the negative control
@@ -508,22 +508,23 @@ def e14_ipv4_stepnp(
 
 @scenario(
     "E15",
-    tags=("experiments", "mapping"),
+    tags=("experiments", "mapping", "perf"),
     params={"tasks": 60, "num_pes": 8, "seed": 3},
 )
 def e15_mapping(tasks: int = 60, num_pes: int = 8, seed: int = 3) -> dict:
     """E15: automated mapping beats naive placement."""
     graph = layered_random_graph(tasks, layers=6, seed=seed)
     platform = make_platform_model(num_pes, "mesh", dsp_fraction=0.25)
+    evaluator = MappingEvaluator(graph, platform)
     rows = []
     makespans = {}
     for name in sorted(MAPPERS):
         mapping = run_mapper(name, graph, platform)
-        cost = evaluate_mapping(graph, platform, mapping, mapper_name=name)
+        cost = evaluator.evaluate(mapping, mapper_name=name)
         rows.append(cost.as_row())
         makespans[name] = cost.makespan_cycles
-    annealed = anneal_map(graph, platform, iterations=1500)
-    cost = evaluate_mapping(graph, platform, annealed, mapper_name="anneal")
+    annealed = anneal_map(graph, platform, iterations=1500, evaluator=evaluator)
+    cost = evaluator.evaluate(annealed, mapper_name="anneal")
     rows.append(cost.as_row())
     makespans["anneal"] = cost.makespan_cycles
     return {

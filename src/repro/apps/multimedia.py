@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.mapping.evaluate import PlatformModel, evaluate_mapping
+from repro.noc.routing import cached_routing
 from repro.mapping.mapper import communication_aware_map
 from repro.mapping.taskgraph import Task, TaskGraph
 
@@ -102,7 +103,9 @@ def frame_rate_on_platform(
     """Achievable frames per second with communication-aware mapping."""
     graph = video_pipeline_graph(macroblocks_per_frame, parallel_slices)
     mapping = communication_aware_map(graph, platform)
-    cost = evaluate_mapping(graph, platform, mapping)
+    cost = evaluate_mapping(
+        graph, platform, mapping, cached_routing(platform.topology)
+    )
     seconds_per_frame = cost.makespan_cycles / (clock_ghz * 1e9)
     return 1.0 / seconds_per_frame
 

@@ -8,6 +8,7 @@ Examples::
     python -m repro run --names E10 E14 --workers 4 --cache .repro_cache
     python -m repro run --tags experiments --out report.json
     python -m repro report report.json --full
+    python -m repro bench --tags perf --threshold 0.25
 """
 
 from __future__ import annotations
@@ -97,6 +98,23 @@ def cmd_run(args) -> int:
     return 1 if report.failed else 0
 
 
+def cmd_bench(args) -> int:
+    from repro.engine.perf import run_bench
+
+    return run_bench(
+        tags=_split_tags(args.tags),
+        names=args.names or None,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        out=args.out,
+        trajectory=None if args.no_trajectory else args.trajectory,
+        baseline="" if args.no_compare else args.baseline,
+        threshold=args.threshold,
+        cache_dir=args.cache,
+        quiet=args.quiet,
+    )
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import format_table, render_experiment
 
@@ -164,6 +182,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", help="write the aggregated report JSON here")
     p_run.add_argument("--quiet", action="store_true")
     p_run.set_defaults(fn=cmd_run)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run benchmarks, append the perf trajectory, gate regressions",
+    )
+    add_selection(p_bench)
+    p_bench.add_argument("--workers", type=int, default=4)
+    p_bench.add_argument(
+        "--timeout", type=float, default=300.0, help="per-job timeout (s)"
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_RESULTS.json",
+        help="bench results payload (default BENCH_RESULTS.json)",
+    )
+    p_bench.add_argument(
+        "--trajectory", default="BENCH_TRAJECTORY.json",
+        help="append-only perf trajectory log",
+    )
+    p_bench.add_argument(
+        "--no-trajectory", action="store_true",
+        help="skip the trajectory append",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None,
+        help="baseline payload to gate against (default: --out before "
+        "this run, i.e. the committed results)",
+    )
+    p_bench.add_argument(
+        "--no-compare", action="store_true", help="skip the regression gate"
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed wall-time growth before the gate fails (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--cache", default=None,
+        help="optional result-cache dir (benchmarks default to uncached "
+        "so wall times are real)",
+    )
+    p_bench.add_argument("--quiet", action="store_true")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_report = sub.add_parser(
         "report", help="render a saved report JSON"

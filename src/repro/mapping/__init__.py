@@ -12,6 +12,8 @@ platforms.  This package provides:
 * :mod:`repro.mapping.anneal` — a simulated-annealing refinement pass;
 * :mod:`repro.mapping.evaluate` — the analytic cost model (makespan via
   list scheduling + NoC-distance-weighted communication);
+* :mod:`repro.mapping.evaluator` — precomputed, incrementally-updatable
+  evaluation (the annealer/DSE hot path);
 * :mod:`repro.mapping.dse` — design-space exploration sweeps with
   Pareto extraction.
 """
@@ -32,12 +34,15 @@ from repro.mapping.mapper import (
 )
 from repro.mapping.anneal import anneal_map
 from repro.mapping.evaluate import MappingCost, evaluate_mapping
+from repro.mapping.evaluator import IncrementalMapping, MappingEvaluator
 from repro.mapping.dse import DesignPoint, explore, pareto_points
 
 __all__ = [
     "DesignPoint",
+    "IncrementalMapping",
     "Mapping",
     "MappingCost",
+    "MappingEvaluator",
     "Task",
     "TaskGraph",
     "anneal_map",

@@ -5,6 +5,14 @@ pairwise swaps under a geometric cooling schedule, accepting uphill
 moves with the Metropolis criterion.  This is the "automate
 optimization where possible" backstop: slower than the greedy mappers
 but consistently at least as good (experiment E15's ablation).
+
+Candidate costs come from :class:`~repro.mapping.evaluator
+.MappingEvaluator` incremental delta evaluation — apply-move/undo on
+flat arrays instead of ``dict(current)`` copies plus a full re-list-
+scheduling per iteration.  The RNG draw sequence and every cost are
+bit-identical to the original dict-based implementation (proved by
+``tests/mapping/test_evaluator.py``), so fixed seeds reproduce the
+seed-era mappings exactly, only faster.
 """
 
 from __future__ import annotations
@@ -12,15 +20,10 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
-from repro.mapping.evaluate import (
-    Mapping,
-    MappingCost,
-    PlatformModel,
-    evaluate_mapping,
-)
+from repro.mapping.evaluate import Mapping, MappingCost, PlatformModel
+from repro.mapping.evaluator import MappingEvaluator
 from repro.mapping.mapper import greedy_load_balance_map
 from repro.mapping.taskgraph import TaskGraph
-from repro.noc.routing import build_routing
 from repro.sim.rng import RandomStreams
 
 CostFn = Callable[[MappingCost], float]
@@ -40,50 +43,63 @@ def anneal_map(
     cooling: float = 0.995,
     seed: int = 23,
     cost_fn: CostFn = default_cost,
+    evaluator: Optional[MappingEvaluator] = None,
 ) -> Mapping:
     """Refine a mapping by simulated annealing.
 
     *start_temperature* is relative to the initial cost (0.10 = uphill
     moves of 10% of the initial cost are readily accepted early on).
+    Pass a shared *evaluator* (same graph and platform) to skip the
+    per-call precomputation inside sweeps.
     """
     if iterations < 1:
         raise ValueError(f"need >=1 iteration, got {iterations}")
     if not 0.0 < cooling < 1.0:
         raise ValueError(f"cooling must be in (0,1), got {cooling}")
     rng = RandomStreams(seed).get("anneal")
-    routing = build_routing(platform.topology)
+    if evaluator is None:
+        evaluator = MappingEvaluator(graph, platform)
+    elif evaluator.platform != platform:
+        raise ValueError(
+            "evaluator was built for a different platform than the one "
+            "passed to anneal_map"
+        )
+    elif evaluator.graph is not graph:
+        raise ValueError(
+            "evaluator was built for a different graph than the one "
+            "passed to anneal_map"
+        )
     current = dict(initial) if initial else greedy_load_balance_map(graph, platform)
     names = list(graph.tasks)
-    current_cost = cost_fn(
-        evaluate_mapping(graph, platform, current, routing)
-    )
-    best = dict(current)
+    num_pes = platform.num_pes
+    state = evaluator.incremental(current)
+    current_cost = cost_fn(state.cost())
+    best = state.snapshot()
     best_cost = current_cost
     temperature = start_temperature * max(current_cost, 1.0)
     for _ in range(iterations):
-        candidate = dict(current)
         if rng.random() < 0.7 or len(names) < 2:
             # Move one task to a different PE.
             task = rng.choice(names)
-            new_pe = rng.randrange(platform.num_pes)
-            if new_pe == candidate[task]:
-                new_pe = (new_pe + 1) % platform.num_pes
-            candidate[task] = new_pe
+            new_pe = rng.randrange(num_pes)
+            if new_pe == state.pe_of(task):
+                new_pe = (new_pe + 1) % num_pes
+            moves = [(task, new_pe)]
         else:
             # Swap the placements of two tasks.
             a, b = rng.sample(names, 2)
-            candidate[a], candidate[b] = candidate[b], candidate[a]
-        candidate_cost = cost_fn(
-            evaluate_mapping(graph, platform, candidate, routing)
-        )
+            moves = [(a, state.pe_of(b)), (b, state.pe_of(a))]
+        candidate_cost = cost_fn(state.propose(moves))
         delta = candidate_cost - current_cost
         if delta <= 0 or (
             temperature > 1e-12 and rng.random() < math.exp(-delta / temperature)
         ):
-            current = candidate
+            state.commit()
             current_cost = candidate_cost
             if current_cost < best_cost:
-                best = dict(current)
+                best = state.snapshot()
                 best_cost = current_cost
+        else:
+            state.reject()
         temperature *= cooling
-    return best
+    return evaluator.to_mapping(best)

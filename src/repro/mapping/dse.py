@@ -13,11 +13,8 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.engine.registry import scenario
 from repro.mapping.anneal import anneal_map
-from repro.mapping.evaluate import (
-    MappingCost,
-    PlatformModel,
-    evaluate_mapping,
-)
+from repro.mapping.evaluate import MappingCost, PlatformModel
+from repro.mapping.evaluator import MappingEvaluator
 from repro.mapping.mapper import MAPPERS, run_mapper
 from repro.mapping.taskgraph import TaskGraph
 from repro.noc.topology import TopologyKind, make_topology
@@ -95,11 +92,13 @@ def explore(
                 num_pes, topology, dsp_fraction=dsp_fraction
             )
             area = area_proxy(num_pes, platform.topology.wiring_cost())
+            # One evaluator per (graph, platform): routing, topological
+            # order and the hop matrix are built once per candidate
+            # platform instead of once per mapper evaluation.
+            evaluator = MappingEvaluator(graph, platform)
             for mapper_name in mapper_names:
                 mapping = run_mapper(mapper_name, graph, platform)
-                cost = evaluate_mapping(
-                    graph, platform, mapping, mapper_name=mapper_name
-                )
+                cost = evaluator.evaluate(mapping, mapper_name=mapper_name)
                 points.append(
                     DesignPoint(
                         num_pes=num_pes,
@@ -111,10 +110,10 @@ def explore(
                     )
                 )
             if include_annealing:
-                mapping = anneal_map(graph, platform, iterations=500)
-                cost = evaluate_mapping(
-                    graph, platform, mapping, mapper_name="anneal"
+                mapping = anneal_map(
+                    graph, platform, iterations=500, evaluator=evaluator
                 )
+                cost = evaluator.evaluate(mapping, mapper_name="anneal")
                 points.append(
                     DesignPoint(
                         num_pes=num_pes,

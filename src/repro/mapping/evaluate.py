@@ -11,11 +11,12 @@ optimizes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.mapping.taskgraph import TaskGraph
-from repro.noc.routing import RoutingTable, build_routing
+from repro.noc.routing import RoutingTable, cached_routing
 from repro.noc.topology import Topology, TopologyKind
 
 #: Type alias: task name -> PE index.
@@ -85,10 +86,28 @@ def evaluate_mapping(
     routing: Optional[RoutingTable] = None,
     mapper_name: str = "",
 ) -> MappingCost:
-    """List-schedule the mapped graph and report costs."""
+    """List-schedule the mapped graph and report costs.
+
+    This is the reference scheduling kernel; the optimized copies in
+    :mod:`repro.mapping.evaluator` must stay in lockstep with it (see
+    ``MappingEvaluator.evaluate_assignment``).
+
+    .. deprecated:: PR2
+        Calling without *routing* is deprecated: it used to rebuild the
+        BFS routing table on every call.  Pass a shared table (see
+        :func:`repro.noc.routing.cached_routing`) or use
+        :class:`repro.mapping.evaluator.MappingEvaluator`, which also
+        precomputes the per-(graph, platform) arrays.
+    """
     _validate(graph, platform, mapping)
     if routing is None:
-        routing = build_routing(platform.topology)
+        warnings.warn(
+            "evaluate_mapping(routing=None) is deprecated; pass "
+            "cached_routing(platform.topology) or use MappingEvaluator",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        routing = cached_routing(platform.topology)
     pe_free = [0.0] * platform.num_pes
     pe_busy = [0.0] * platform.num_pes
     finish: Dict[str, float] = {}

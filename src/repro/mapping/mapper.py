@@ -18,7 +18,7 @@ from typing import Dict, Optional
 
 from repro.mapping.evaluate import Mapping, PlatformModel, communication_cycles
 from repro.mapping.taskgraph import TaskGraph
-from repro.noc.routing import build_routing
+from repro.noc.routing import cached_routing
 from repro.sim.rng import RandomStreams
 
 
@@ -79,7 +79,7 @@ def communication_aware_map(
     """
     if comm_weight < 0:
         raise ValueError(f"negative communication weight {comm_weight}")
-    routing = build_routing(platform.topology)
+    routing = cached_routing(platform.topology)
     pe_free = [0.0] * platform.num_pes
     finish: dict[str, float] = {}
     mapping: Mapping = {}

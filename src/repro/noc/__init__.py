@@ -32,7 +32,7 @@ from repro.noc.topology import (
     torus,
     tree,
 )
-from repro.noc.routing import RoutingTable, build_routing
+from repro.noc.routing import RoutingTable, build_routing, cached_routing
 from repro.noc.link import Link
 from repro.noc.network import Network
 from repro.noc.traffic import TrafficGenerator, TrafficPattern
@@ -50,6 +50,7 @@ __all__ = [
     "TrafficPattern",
     "build_routing",
     "bus",
+    "cached_routing",
     "crossbar",
     "fat_tree",
     "make_topology",

@@ -44,7 +44,8 @@ class Link:
         Returns ``(start_time, finish_time)``: transmission begins when
         the link frees up and lasts ``size_flits / flits_per_cycle``.
         """
-        start = max(now, self._next_free)
+        next_free = self._next_free
+        start = now if now > next_free else next_free
         duration = size_flits / self.flits_per_cycle
         finish = start + duration
         self._next_free = finish

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.noc.link import Link
 from repro.noc.packet import Packet
-from repro.noc.routing import RoutingTable, build_routing
+from repro.noc.routing import RoutingTable, cached_routing
 from repro.noc.topology import Topology, TopologyKind
 from repro.sim.core import Simulator
 from repro.sim.stats import Sampler
@@ -57,7 +57,7 @@ class Network:
             raise ValueError(f"negative router delay {router_delay}")
         self.sim = sim
         self.topology = topology
-        self.routing: RoutingTable = build_routing(topology)
+        self.routing: RoutingTable = cached_routing(topology)
         self.router_delay = router_delay
         self.links: Dict[Tuple[int, int], Link] = {
             (u, v): Link(f"link{u}->{v}", link_bandwidth)
@@ -103,7 +103,9 @@ class Network:
         """
         self._check_terminal(packet.src)
         self._check_terminal(packet.dst)
-        packet.injected_at = self.sim.now
+        sim = self.sim
+        now = sim.now
+        packet.injected_at = now
         self.injected_packets += 1
         if self._bus is not None:
             self._send_bus(packet, on_deliver)
@@ -112,20 +114,20 @@ class Network:
         dst_router = self.topology.terminal_router[packet.dst]
         # Injection link serialization.
         _start, finish = self.injection[packet.src].reserve(
-            self.sim.now, packet.size_flits
+            now, packet.size_flits
         )
         if src_router == dst_router:
             # Straight through one router to the ejection port.
             arrival = finish + self.router_delay
-            self.sim.schedule(
-                arrival - self.sim.now,
+            sim.schedule(
+                arrival - now,
                 lambda: self._eject(packet, on_deliver),
             )
             return
         flow = packet.src * 65537 + packet.dst
         path = self.routing.route(src_router, dst_router, flow=flow)
-        self.sim.schedule(
-            finish - self.sim.now,
+        sim.schedule(
+            finish - now,
             lambda: self._hop(packet, path, 0, on_deliver),
         )
 
@@ -150,21 +152,20 @@ class Network:
         on_deliver: Optional[DeliveryCallback],
     ) -> None:
         """Header is at ``path[index]``; traverse to the next router."""
-        here = path[index]
-        nxt = path[index + 1]
-        link = self.links[(here, nxt)]
+        link = self.links[(path[index], path[index + 1])]
+        sim = self.sim
+        now = sim.now
         # Router pipeline, then wait for the output link, then serialize.
-        ready = self.sim.now + self.router_delay
-        start, finish = link.reserve(ready, packet.size_flits)
+        _start, finish = link.reserve(now + self.router_delay, packet.size_flits)
         packet.hops += 1
         if index + 2 == len(path):
-            self.sim.schedule(
-                finish - self.sim.now,
+            sim.schedule(
+                finish - now,
                 lambda: self._eject(packet, on_deliver),
             )
         else:
-            self.sim.schedule(
-                finish - self.sim.now,
+            sim.schedule(
+                finish - now,
                 lambda: self._hop(packet, path, index + 1, on_deliver),
             )
 

@@ -12,8 +12,8 @@ built for.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.noc.topology import Topology
 
@@ -33,11 +33,29 @@ class RoutingTable:
     topology: Topology
     next_hops: List[List[List[int]]]  # next_hops[router][dst] -> choices
     distance: List[List[int]]         # hop counts
+    #: memoized route() paths keyed by (src, dst, flow); the path walk
+    #: is deterministic, so each flow's path is computed exactly once.
+    _path_cache: Dict[Tuple[int, int, int], List[int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _avg_distance: Optional[float] = field(
+        default=None, repr=False, compare=False
+    )
 
     def route(self, src_router: int, dst_router: int, flow: int = 0) -> List[int]:
-        """Full router path, inclusive; *flow* selects among ECMP paths."""
+        """Full router path, inclusive; *flow* selects among ECMP paths.
+
+        Paths are memoized per (src, dst, flow); treat the returned
+        list as read-only.
+        """
+        key = (src_router, dst_router, flow)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
         if src_router == dst_router:
-            return [src_router]
+            path = [src_router]
+            self._path_cache[key] = path
+            return path
         path = [src_router]
         current = src_router
         limit = self.topology.num_routers + 1
@@ -52,6 +70,7 @@ class RoutingTable:
             current = nxt
             if len(path) > limit:  # pragma: no cover - defensive
                 raise RuntimeError("routing loop detected")
+        self._path_cache[key] = path
         return path
 
     def next_hop_choices(self, router: int, dst_router: int) -> List[int]:
@@ -66,19 +85,29 @@ class RoutingTable:
         return d
 
     def average_distance(self) -> float:
-        """Mean hop distance over distinct terminal attachment pairs."""
+        """Mean hop distance over distinct terminal attachment pairs.
+
+        Precomputed as an O(routers^2) reduction over terminal counts
+        per router (rather than the naive O(terminals^2) pair walk) and
+        memoized; distances are integers, so the reduced sum is exactly
+        the pairwise sum.
+        """
+        if self._avg_distance is not None:
+            return self._avg_distance
         topo = self.topology
+        terminals_at: Dict[int, int] = {}
+        for router in topo.terminal_router:
+            terminals_at[router] = terminals_at.get(router, 0) + 1
         total = 0
-        count = 0
-        for src_t in range(topo.num_terminals):
-            for dst_t in range(topo.num_terminals):
-                if src_t == dst_t:
-                    continue
-                total += self.distance[topo.terminal_router[src_t]][
-                    topo.terminal_router[dst_t]
-                ]
-                count += 1
-        return total / count if count else 0.0
+        for src_r, src_n in terminals_at.items():
+            row = self.distance[src_r]
+            for dst_r, dst_n in terminals_at.items():
+                total += src_n * dst_n * row[dst_r]
+        # Same-terminal pairs are excluded; they sit on one router at
+        # distance 0, so only the pair count needs correcting.
+        count = topo.num_terminals * (topo.num_terminals - 1)
+        self._avg_distance = total / count if count else 0.0
+        return self._avg_distance
 
     def diameter(self) -> int:
         """Maximum finite hop distance in the router graph."""
@@ -122,3 +151,37 @@ def build_routing(topology: Topology) -> RoutingTable:
     return RoutingTable(
         topology=topology, next_hops=next_hops, distance=distance
     )
+
+
+#: structural-key -> RoutingTable memo for :func:`cached_routing`.
+_ROUTING_CACHE: Dict[tuple, RoutingTable] = {}
+_ROUTING_CACHE_MAX = 128
+
+
+def _topology_key(topology: Topology) -> tuple:
+    """Structural identity of a topology (Topology is mutable)."""
+    return (
+        topology.kind,
+        topology.num_routers,
+        tuple(topology.edges),
+        tuple(topology.terminal_router),
+    )
+
+
+def cached_routing(topology: Topology) -> RoutingTable:
+    """A shared, memoized routing table for *topology*.
+
+    BFS-all-pairs table construction is the dominant setup cost of
+    every NoC model; structurally identical topologies (same kind,
+    router count, edges and terminal attachments) share one table, so
+    sweeps over (load, mapper, seed) build routing exactly once per
+    topology.  The returned table is shared — treat it as read-only.
+    """
+    key = _topology_key(topology)
+    table = _ROUTING_CACHE.get(key)
+    if table is None:
+        if len(_ROUTING_CACHE) >= _ROUTING_CACHE_MAX:
+            _ROUTING_CACHE.clear()
+        table = build_routing(topology)
+        _ROUTING_CACHE[key] = table
+    return table

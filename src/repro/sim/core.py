@@ -34,7 +34,9 @@ class Event:
         Optional debug label.
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_triggered")
+    __slots__ = (
+        "sim", "name", "callbacks", "_value", "_ok", "_triggered", "_fired"
+    )
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
@@ -43,6 +45,8 @@ class Event:
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._triggered = False
+        #: callbacks detached at trigger time, dispatched by the kernel.
+        self._fired: list[Callable[["Event"], None]] = []
 
     @property
     def triggered(self) -> bool:
@@ -79,6 +83,11 @@ class Event:
         self._triggered = True
         self._value = value
         self._ok = ok
+        # Detach the waiter list now (callbacks added after triggering
+        # never fire, as before) and let the kernel dispatch the event
+        # itself — no per-trigger closure allocation.
+        self._fired = self.callbacks
+        self.callbacks = []
         self.sim._schedule_event(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -122,7 +131,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
+        # Entries are (time, priority, seq, item); item is a zero-arg
+        # callback or a triggered Event (dispatched to its waiters).
+        self._queue: list[tuple[float, int, int, Any]] = []
         self._seq = itertools.count()
         self._processes: list[Any] = []
         self._event_count = 0
@@ -162,14 +173,13 @@ class Simulator:
         )
 
     def _schedule_event(self, event: Event) -> None:
-        """Queue the callbacks of a just-triggered event at time *now*."""
-        callbacks, event.callbacks = event.callbacks, []
+        """Queue a just-triggered event for dispatch at time *now*.
 
-        def fire() -> None:
-            for cb in callbacks:
-                cb(event)
-
-        heapq.heappush(self._queue, (self._now, 0, next(self._seq), fire))
+        The event object itself is pushed; :meth:`run` recognizes it
+        and calls its detached waiter callbacks, avoiding the closure
+        allocation a callback-only queue would force on every trigger.
+        """
+        heapq.heappush(self._queue, (self._now, 0, next(self._seq), event))
 
     def spawn(
         self,
@@ -191,17 +201,27 @@ class Simulator:
         back-to-back ``run(until=...)`` calls compose.
         """
         queue = self._queue
+        pop = heapq.heappop
         while queue:
-            time, _priority, _seq, callback = queue[0]
+            time = queue[0][0]
             if until is not None and time > until:
                 self._now = float(until)
                 return self._now
-            heapq.heappop(queue)
             if time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event scheduled in the past")
             self._now = time
-            self._event_count += 1
-            callback()
+            # Batch every same-time wakeup: one horizon/clock update
+            # per timestamp instead of one per entry.  Entries pushed
+            # at `time` from within the batch join it (heap order
+            # preserves the FIFO sequence tiebreak).
+            while queue and queue[0][0] == time:
+                item = pop(queue)[3]
+                self._event_count += 1
+                if isinstance(item, Event):
+                    for cb in item._fired:
+                        cb(item)
+                else:
+                    item()
         if until is not None and until > self._now:
             self._now = float(until)
         return self._now
@@ -212,15 +232,39 @@ class Simulator:
             return float("inf")
         return self._queue[0][0]
 
-    def run_steps(self, max_events: int) -> int:
-        """Execute at most *max_events* callbacks; returns how many ran."""
+    def run_steps(self, max_events: int, until: Optional[float] = None) -> int:
+        """Execute at most *max_events* callbacks; returns how many ran.
+
+        With an *until* horizon, events after it are left queued and the
+        clock advances exactly to the horizon (matching :meth:`run`), so
+        stepped and free-running execution order identically.
+        """
+        queue = self._queue
         executed = 0
-        while self._queue and executed < max_events:
-            time, _priority, _seq, callback = heapq.heappop(self._queue)
+        while queue and executed < max_events:
+            time = queue[0][0]
+            if until is not None and time > until:
+                break
+            if time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event scheduled in the past")
+            item = heapq.heappop(queue)[3]
             self._now = time
             self._event_count += 1
-            callback()
+            if isinstance(item, Event):
+                for cb in item._fired:
+                    cb(item)
+            else:
+                item()
             executed += 1
+        # Advance to the horizon only when stepping stopped because the
+        # horizon (or queue exhaustion) was reached, never because the
+        # step budget ran out with eligible events still queued.
+        if (
+            until is not None
+            and until > self._now
+            and (not queue or queue[0][0] > until)
+        ):
+            self._now = float(until)
         return executed
 
     def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:

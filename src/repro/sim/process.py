@@ -44,9 +44,15 @@ class Process:
         self._done = sim.event(f"{self.name}.done")
         self._alive = True
         self._result: Any = None
+        # Reusable resume callbacks: a process waits on exactly one
+        # condition at a time, so one value-less step callback and one
+        # bound event-resume callback cover the hot paths without a
+        # fresh closure per yield.
+        self._step_none: Callable[[], None] = lambda: self._step(None)
+        self._resume_cb: Callable[[Event], None] = self._resume
         # Kick off at the current time so spawn() is side-effect free until
         # the event loop runs.
-        sim.schedule(0.0, lambda: self._step(None))
+        sim.schedule(0.0, self._step_none)
 
     @property
     def alive(self) -> bool:
@@ -91,37 +97,40 @@ class Process:
         self._wait_on(command)
 
     def _wait_on(self, command: Any) -> None:
+        # Timeout first: it is by far the most common yield in the
+        # simulated workloads, and a value-less Timeout reuses the
+        # process's one step callback instead of allocating a closure.
         sim = self.sim
-        if command is None:
-            sim.schedule(0.0, lambda: self._step(None))
-        elif isinstance(command, Timeout):
-            sim.schedule(command.delay, lambda: self._step(command.value))
-        elif isinstance(command, Process):
-            self._wait_event(command._done)
+        if isinstance(command, Timeout):
+            if command.value is None:
+                sim.schedule(command.delay, self._step_none)
+            else:
+                sim.schedule(command.delay, lambda: self._step(command.value))
         elif isinstance(command, Event):
             self._wait_event(command)
+        elif isinstance(command, Process):
+            self._wait_event(command._done)
+        elif command is None:
+            sim.schedule(0.0, self._step_none)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported command "
                 f"{command!r}; expected Timeout, Event, Process or None"
             )
 
-    def _wait_event(self, event: Event) -> None:
-        def resume(ev: Event) -> None:
-            if ev.ok:
-                self._step(ev.value)
-            else:
-                self._step(None, throw=ev.value)
+    def _resume(self, ev: Event) -> None:
+        if ev.ok:
+            self._step(ev.value)
+        else:
+            self._step(None, throw=ev.value)
 
+    def _wait_event(self, event: Event) -> None:
         if event.triggered:
             # Already fired: resume on the next scheduling slot to preserve
             # FIFO ordering with events queued before us.
-            self.sim.schedule(
-                0.0,
-                lambda: resume(event),
-            )
+            self.sim.schedule(0.0, lambda: self._resume(event))
         else:
-            event.callbacks.append(resume)
+            event.callbacks.append(self._resume_cb)
 
     def _finish(self, result: Any) -> None:
         self._alive = False

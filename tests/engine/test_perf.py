@@ -1,0 +1,212 @@
+"""Tests for the bench runner, perf trajectory and regression gate."""
+
+import json
+
+import pytest
+
+from repro.engine import perf
+from repro.engine.cli import main as cli_main
+
+
+def payload(version, scenarios):
+    """Minimal repro-bench-v1 payload: {name: wall_time_s}."""
+    return {
+        "schema": perf.BENCH_SCHEMA,
+        "code_version": version,
+        "workers": 1,
+        "scenarios": len(scenarios),
+        "failed": 0,
+        "total_wall_time_s": round(sum(scenarios.values()), 3),
+        "benchmarks": [
+            {
+                "scenario": name,
+                "params": {},
+                "tags": [],
+                "status": "ok",
+                "headline_metric": {"name": "rows", "value": 1},
+                "wall_time_s": wall,
+                "cached": False,
+            }
+            for name, wall in scenarios.items()
+        ],
+    }
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        base = payload("aaa", {"E1": 1.0, "E2": 2.0})
+        cur = payload("bbb", {"E1": 1.1, "E2": 2.2})
+        comparison = perf.compare_payloads(cur, base, threshold=0.25)
+        assert not comparison.regressed
+        assert comparison.compared == 2
+        assert comparison.ratio == pytest.approx(1.1)
+
+    def test_total_regression_fails(self):
+        base = payload("aaa", {"E1": 1.0, "E2": 2.0})
+        cur = payload("bbb", {"E1": 2.0, "E2": 3.0})
+        comparison = perf.compare_payloads(cur, base, threshold=0.25)
+        assert comparison.regressed
+        assert "REGRESSION" in comparison.render()
+
+    def test_only_shared_scenarios_compared(self):
+        base = payload("aaa", {"E1": 1.0, "E9": 50.0})
+        cur = payload("bbb", {"E1": 1.0, "E2": 99.0})
+        comparison = perf.compare_payloads(cur, base)
+        assert comparison.compared == 1
+        assert not comparison.regressed
+
+    def test_per_scenario_slowdowns_reported(self):
+        base = payload("aaa", {"E1": 1.0, "E2": 2.0})
+        cur = payload("bbb", {"E1": 2.0, "E2": 2.0})
+        comparison = perf.compare_payloads(cur, base, threshold=0.25)
+        assert any("E1" in line for line in comparison.regressions)
+
+    def test_tiny_scenarios_not_flagged_individually(self):
+        base = payload("aaa", {"E1": 0.01})
+        cur = payload("bbb", {"E1": 0.05})
+        comparison = perf.compare_payloads(cur, base, threshold=0.25)
+        assert comparison.regressions == []
+
+    def test_failed_and_cached_entries_excluded(self):
+        base = payload("aaa", {"E1": 1.0, "E2": 1.0})
+        cur = payload("bbb", {"E1": 1.0, "E2": 1.0})
+        cur["benchmarks"][1]["status"] = "error"
+        base["benchmarks"][0]["cached"] = True
+        comparison = perf.compare_payloads(cur, base)
+        assert comparison.compared == 0
+
+
+class TestTrajectory:
+    def test_append_creates_and_extends(self, tmp_path):
+        path = tmp_path / "traj.json"
+        entry = perf.trajectory_entry(payload("aaa", {"E1": 1.0}), ["smoke"])
+        perf.append_trajectory(path, entry)
+        perf.append_trajectory(
+            path, perf.trajectory_entry(payload("bbb", {"E1": 0.5}), None)
+        )
+        data = json.loads(path.read_text())
+        assert data["schema"] == perf.TRAJECTORY_SCHEMA
+        assert [e["code_version"] for e in data["entries"]] == ["aaa", "bbb"]
+        assert data["entries"][0]["tags"] == ["smoke"]
+        assert data["entries"][1]["per_scenario_wall_s"] == {"E1": 0.5}
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            "{not json",
+            "[]",                                      # valid JSON, wrong shape
+            '{"schema": "repro-bench-trajectory-v1"}',  # missing entries
+            '{"schema": "repro-bench-trajectory-v1", "entries": 3}',
+        ],
+    )
+    def test_corrupt_file_restarts_log(self, tmp_path, corrupt):
+        path = tmp_path / "traj.json"
+        path.write_text(corrupt)
+        perf.append_trajectory(
+            path, perf.trajectory_entry(payload("ccc", {"E1": 1.0}), None)
+        )
+        data = json.loads(path.read_text())
+        assert len(data["entries"]) == 1
+
+
+class TestBenchCli:
+    def test_bench_writes_results_trajectory_and_gates(self, tmp_path):
+        out = tmp_path / "results.json"
+        traj = tmp_path / "traj.json"
+        code = cli_main(
+            [
+                "bench", "--names", "E1", "--workers", "1",
+                "--out", str(out), "--trajectory", str(traj),
+            ]
+        )
+        assert code == 0
+        results = json.loads(out.read_text())
+        assert results["schema"] == perf.BENCH_SCHEMA
+        assert results["scenarios"] == 1
+        assert results["benchmarks"][0]["scenario"] == "E1"
+        assert len(json.loads(traj.read_text())["entries"]) == 1
+
+        # Second run gates against the first payload (same code: passes).
+        code = cli_main(
+            [
+                "bench", "--names", "E1", "--workers", "1",
+                "--out", str(out), "--trajectory", str(traj),
+            ]
+        )
+        assert code == 0
+        assert len(json.loads(traj.read_text())["entries"]) == 2
+
+    def test_bench_regression_exit_code(self, tmp_path, monkeypatch):
+        from repro.engine.results import Report, ScenarioResult
+
+        def fake_execute(specs, **kwargs):
+            return Report(
+                results=[
+                    ScenarioResult(
+                        name=spec.name,
+                        spec_hash=spec.content_hash,
+                        elapsed_s=10.0,
+                    )
+                    for spec in specs
+                ]
+            )
+
+        monkeypatch.setattr(perf, "execute", fake_execute)
+        out = tmp_path / "results.json"
+        out.write_text(json.dumps(payload("old", {"E1": 1.0})))
+        code = cli_main(
+            [
+                "bench", "--names", "E1", "--workers", "1",
+                "--out", str(out), "--no-trajectory",
+            ]
+        )
+        assert code == perf.EXIT_REGRESSION
+
+    def test_explicit_missing_baseline_is_an_error(self, tmp_path):
+        code = cli_main(
+            [
+                "bench", "--names", "E1", "--workers", "1",
+                "--out", str(tmp_path / "results.json"), "--no-trajectory",
+                "--baseline", str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 2
+
+    def test_explicit_corrupt_baseline_is_an_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        code = cli_main(
+            [
+                "bench", "--names", "E1", "--workers", "1",
+                "--out", str(tmp_path / "results.json"), "--no-trajectory",
+                "--baseline", str(bad),
+            ]
+        )
+        assert code == 2
+
+    def test_no_compare_skips_gate(self, tmp_path, monkeypatch):
+        from repro.engine.results import Report, ScenarioResult
+
+        monkeypatch.setattr(
+            perf,
+            "execute",
+            lambda specs, **kwargs: Report(
+                results=[
+                    ScenarioResult(
+                        name=spec.name,
+                        spec_hash=spec.content_hash,
+                        elapsed_s=10.0,
+                    )
+                    for spec in specs
+                ]
+            ),
+        )
+        out = tmp_path / "results.json"
+        out.write_text(json.dumps(payload("old", {"E1": 1.0})))
+        code = cli_main(
+            [
+                "bench", "--names", "E1", "--workers", "1",
+                "--out", str(out), "--no-trajectory", "--no-compare",
+            ]
+        )
+        assert code == 0

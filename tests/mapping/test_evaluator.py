@@ -1,0 +1,269 @@
+"""Equivalence tests: MappingEvaluator vs the reference evaluator.
+
+The evaluator is a pure optimization — every cost it produces must be
+*exactly* equal (same floats, not approximately) to the reference
+dict-based ``evaluate_mapping``, and the incremental annealer must be
+bit-identical to the seed-era implementation for fixed seeds.  These
+tests pin that contract across mesh, torus, fat-tree and bus
+topologies with randomized move/swap sequences.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.mapping.anneal import anneal_map, default_cost
+from repro.mapping.dse import make_platform_model
+from repro.mapping.evaluate import evaluate_mapping
+from repro.mapping.evaluator import MappingEvaluator
+from repro.mapping.mapper import (
+    MAPPERS,
+    greedy_load_balance_map,
+    round_robin_map,
+    run_mapper,
+)
+from repro.mapping.taskgraph import layered_random_graph, pipeline_graph
+from repro.noc.routing import build_routing, cached_routing
+from repro.sim.rng import RandomStreams
+
+#: (topology kind, PE count) — torus needs a >=3x3 router grid.
+TOPOLOGIES = [
+    ("mesh", 8),
+    ("torus", 9),
+    ("fat_tree", 8),
+    ("bus", 8),
+]
+
+
+def cost_tuple(cost):
+    return (
+        cost.makespan_cycles,
+        cost.total_comm_cycles,
+        cost.load_imbalance,
+        cost.noc_byte_hops,
+    )
+
+
+def make_case(kind, num_pes, tasks=40, seed=7):
+    graph = layered_random_graph(tasks, layers=5, seed=seed)
+    platform = make_platform_model(num_pes, kind, dsp_fraction=0.25)
+    return graph, platform
+
+
+def reference_anneal(
+    graph,
+    platform,
+    initial=None,
+    iterations=2000,
+    start_temperature=0.10,
+    cooling=0.995,
+    seed=23,
+    cost_fn=default_cost,
+):
+    """The seed implementation of anneal_map, kept verbatim as oracle:
+    dict copies per candidate plus a full re-evaluation each iteration.
+    """
+    rng = RandomStreams(seed).get("anneal")
+    routing = build_routing(platform.topology)
+    current = (
+        dict(initial) if initial else greedy_load_balance_map(graph, platform)
+    )
+    names = list(graph.tasks)
+    current_cost = cost_fn(evaluate_mapping(graph, platform, current, routing))
+    best = dict(current)
+    best_cost = current_cost
+    temperature = start_temperature * max(current_cost, 1.0)
+    for _ in range(iterations):
+        candidate = dict(current)
+        if rng.random() < 0.7 or len(names) < 2:
+            task = rng.choice(names)
+            new_pe = rng.randrange(platform.num_pes)
+            if new_pe == candidate[task]:
+                new_pe = (new_pe + 1) % platform.num_pes
+            candidate[task] = new_pe
+        else:
+            a, b = rng.sample(names, 2)
+            candidate[a], candidate[b] = candidate[b], candidate[a]
+        candidate_cost = cost_fn(
+            evaluate_mapping(graph, platform, candidate, routing)
+        )
+        delta = candidate_cost - current_cost
+        if delta <= 0 or (
+            temperature > 1e-12
+            and rng.random() < math.exp(-delta / temperature)
+        ):
+            current = candidate
+            current_cost = candidate_cost
+            if current_cost < best_cost:
+                best = dict(current)
+                best_cost = current_cost
+        temperature *= cooling
+    return best
+
+
+class TestFullEvaluationEquivalence:
+    @pytest.mark.parametrize("kind,num_pes", TOPOLOGIES)
+    @pytest.mark.parametrize("mapper", sorted(MAPPERS))
+    def test_every_mapper_cost_identical(self, kind, num_pes, mapper):
+        graph, platform = make_case(kind, num_pes)
+        routing = cached_routing(platform.topology)
+        evaluator = MappingEvaluator(graph, platform)
+        mapping = run_mapper(mapper, graph, platform)
+        reference = evaluate_mapping(graph, platform, mapping, routing)
+        fast = evaluator.evaluate(mapping)
+        assert cost_tuple(fast) == cost_tuple(reference)
+
+    def test_mapper_name_carried(self):
+        graph, platform = make_case("mesh", 8)
+        evaluator = MappingEvaluator(graph, platform)
+        mapping = round_robin_map(graph, platform)
+        assert evaluator.evaluate(mapping, mapper_name="rr").mapper == "rr"
+
+    def test_validation_matches_reference(self):
+        graph = pipeline_graph(3)
+        platform = make_platform_model(2)
+        evaluator = MappingEvaluator(graph, platform)
+        with pytest.raises(ValueError, match="misses"):
+            evaluator.evaluate({"stage0": 0})
+        with pytest.raises(ValueError, match="mapped to PE"):
+            evaluator.evaluate(
+                {"stage0": 0, "stage1": 9, "stage2": 0}
+            )
+
+
+class TestIncrementalEquivalence:
+    @pytest.mark.parametrize("kind,num_pes", TOPOLOGIES)
+    def test_random_move_swap_sequences(self, kind, num_pes):
+        """Property test: incremental deltas == full re-evaluation."""
+        graph, platform = make_case(kind, num_pes)
+        routing = cached_routing(platform.topology)
+        evaluator = MappingEvaluator(graph, platform)
+        state = evaluator.incremental(round_robin_map(graph, platform))
+        names = list(graph.tasks)
+        rng = random.Random(20_260_730)
+        for step in range(150):
+            if rng.random() < 0.6:
+                moves = [(rng.choice(names), rng.randrange(num_pes))]
+            else:
+                a, b = rng.sample(names, 2)
+                moves = [(a, state.pe_of(b)), (b, state.pe_of(a))]
+            candidate = dict(state.mapping())
+            for name, pe in moves:
+                candidate[name] = pe
+            reference = evaluate_mapping(graph, platform, candidate, routing)
+            incremental = state.propose(moves)
+            assert cost_tuple(incremental) == cost_tuple(reference), (
+                kind, step, moves,
+            )
+            if rng.random() < 0.5:
+                state.commit()
+                assert state.mapping() == candidate
+            else:
+                state.reject()
+            # The committed state must always match a fresh evaluation.
+            committed_ref = evaluate_mapping(
+                graph, platform, state.mapping(), routing
+            )
+            assert cost_tuple(state.cost()) == cost_tuple(committed_ref)
+
+    def test_propose_requires_resolution(self):
+        graph, platform = make_case("mesh", 8)
+        state = MappingEvaluator(graph, platform).incremental(
+            round_robin_map(graph, platform)
+        )
+        name = next(iter(graph.tasks))
+        state.propose([(name, 1)])
+        with pytest.raises(RuntimeError, match="unresolved"):
+            state.propose([(name, 2)])
+        state.reject()
+        with pytest.raises(RuntimeError, match="no proposal"):
+            state.commit()
+
+    def test_empty_proposal_is_current_cost(self):
+        graph, platform = make_case("mesh", 8)
+        state = MappingEvaluator(graph, platform).incremental(
+            round_robin_map(graph, platform)
+        )
+        assert cost_tuple(state.propose([])) == cost_tuple(state.cost())
+
+
+class TestAnnealEquivalence:
+    @pytest.mark.parametrize("kind,num_pes", TOPOLOGIES)
+    def test_bit_identical_to_seed_implementation(self, kind, num_pes):
+        graph, platform = make_case(kind, num_pes, tasks=30)
+        expected = reference_anneal(graph, platform, iterations=400, seed=5)
+        actual = anneal_map(graph, platform, iterations=400, seed=5)
+        assert actual == expected
+        routing = cached_routing(platform.topology)
+        assert cost_tuple(
+            evaluate_mapping(graph, platform, actual, routing)
+        ) == cost_tuple(evaluate_mapping(graph, platform, expected, routing))
+
+    def test_shared_evaluator_changes_nothing(self):
+        graph, platform = make_case("mesh", 8, tasks=25)
+        evaluator = MappingEvaluator(graph, platform)
+        alone = anneal_map(graph, platform, iterations=300, seed=9)
+        shared = anneal_map(
+            graph, platform, iterations=300, seed=9, evaluator=evaluator
+        )
+        assert alone == shared
+
+    def test_mismatched_evaluator_rejected(self):
+        graph, platform = make_case("mesh", 8, tasks=25)
+        other = make_platform_model(4, "mesh")
+        with pytest.raises(ValueError, match="different platform"):
+            anneal_map(
+                graph,
+                platform,
+                iterations=10,
+                evaluator=MappingEvaluator(graph, other),
+            )
+        other_graph = layered_random_graph(25, layers=5, seed=99)
+        with pytest.raises(ValueError, match="different graph"):
+            anneal_map(
+                graph,
+                platform,
+                iterations=10,
+                evaluator=MappingEvaluator(other_graph, platform),
+            )
+
+    def test_explicit_initial_respected(self):
+        graph, platform = make_case("mesh", 8, tasks=25)
+        initial = round_robin_map(graph, platform)
+        expected = reference_anneal(
+            graph, platform, initial=initial, iterations=200, seed=3
+        )
+        actual = anneal_map(
+            graph, platform, initial=initial, iterations=200, seed=3
+        )
+        assert actual == expected
+
+
+class TestDeprecatedImplicitRouting:
+    def test_implicit_rebuild_warns(self):
+        graph, platform = make_case("mesh", 8)
+        mapping = round_robin_map(graph, platform)
+        with pytest.warns(DeprecationWarning, match="routing"):
+            evaluate_mapping(graph, platform, mapping)
+
+    def test_explicit_routing_does_not_warn(self, recwarn):
+        graph, platform = make_case("mesh", 8)
+        mapping = round_robin_map(graph, platform)
+        evaluate_mapping(
+            graph, platform, mapping, cached_routing(platform.topology)
+        )
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_implicit_path_uses_shared_cache(self):
+        graph, platform = make_case("mesh", 8)
+        mapping = round_robin_map(graph, platform)
+        with pytest.warns(DeprecationWarning):
+            implicit = evaluate_mapping(graph, platform, mapping)
+        explicit = evaluate_mapping(
+            graph, platform, mapping, cached_routing(platform.topology)
+        )
+        assert cost_tuple(implicit) == cost_tuple(explicit)

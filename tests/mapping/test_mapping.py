@@ -10,6 +10,7 @@ from repro.mapping.dse import (
     pareto_points,
 )
 from repro.mapping.evaluate import evaluate_mapping
+from repro.noc.routing import cached_routing
 from repro.mapping.mapper import (
     MAPPERS,
     communication_aware_map,
@@ -134,34 +135,39 @@ class TestMappers:
 
     def test_greedy_balances_load_better_than_random(self, setup):
         graph, platform = setup
+        routing = cached_routing(platform.topology)
         greedy = evaluate_mapping(
-            graph, platform, greedy_load_balance_map(graph, platform)
+            graph, platform, greedy_load_balance_map(graph, platform), routing
         )
-        rand = evaluate_mapping(graph, platform, random_map(graph, platform))
+        rand = evaluate_mapping(
+            graph, platform, random_map(graph, platform), routing
+        )
         assert greedy.load_imbalance <= rand.load_imbalance
 
     def test_comm_aware_reduces_byte_hops_vs_round_robin(self, setup):
         graph, platform = setup
+        routing = cached_routing(platform.topology)
         comm = evaluate_mapping(
-            graph, platform, communication_aware_map(graph, platform)
+            graph, platform, communication_aware_map(graph, platform), routing
         )
         naive = evaluate_mapping(
-            graph, platform, round_robin_map(graph, platform)
+            graph, platform, round_robin_map(graph, platform), routing
         )
         assert comm.noc_byte_hops < naive.noc_byte_hops
 
     def test_automated_beats_naive_makespan(self, setup):
         """Experiment E15's core assertion."""
         graph, platform = setup
+        routing = cached_routing(platform.topology)
         best_auto = min(
             evaluate_mapping(
-                graph, platform, run_mapper(name, graph, platform)
+                graph, platform, run_mapper(name, graph, platform), routing
             ).makespan_cycles
             for name in ("greedy_load", "comm_aware")
         )
         naive = min(
             evaluate_mapping(
-                graph, platform, run_mapper(name, graph, platform)
+                graph, platform, run_mapper(name, graph, platform), routing
             ).makespan_cycles
             for name in ("random", "round_robin")
         )
@@ -185,7 +191,10 @@ class TestEvaluate:
         graph = pipeline_graph(4)
         platform = make_platform_model(4)
         cost = evaluate_mapping(
-            graph, platform, {name: 0 for name in graph.tasks}
+            graph,
+            platform,
+            {name: 0 for name in graph.tasks},
+            cached_routing(platform.topology),
         )
         assert cost.total_comm_cycles == 0.0
         assert cost.makespan_cycles == pytest.approx(graph.total_compute())
@@ -193,9 +202,10 @@ class TestEvaluate:
     def test_makespan_at_least_critical_path(self):
         graph = layered_random_graph(40, seed=6)
         platform = make_platform_model(8)
+        routing = cached_routing(platform.topology)
         for name in sorted(MAPPERS):
             cost = evaluate_mapping(
-                graph, platform, run_mapper(name, graph, platform)
+                graph, platform, run_mapper(name, graph, platform), routing
             )
             assert cost.makespan_cycles >= graph.critical_path_cycles() - 1e-6
 
@@ -211,10 +221,11 @@ class TestAnneal:
     def test_anneal_never_worse_than_initial(self):
         graph = layered_random_graph(40, seed=8)
         platform = make_platform_model(6)
+        routing = cached_routing(platform.topology)
         initial = round_robin_map(graph, platform)
-        initial_cost = evaluate_mapping(graph, platform, initial)
+        initial_cost = evaluate_mapping(graph, platform, initial, routing)
         annealed = anneal_map(graph, platform, initial=initial, iterations=600)
-        final_cost = evaluate_mapping(graph, platform, annealed)
+        final_cost = evaluate_mapping(graph, platform, annealed, routing)
         assert final_cost.makespan_cycles <= initial_cost.makespan_cycles
 
     def test_anneal_deterministic_for_seed(self):
@@ -266,10 +277,16 @@ class TestDse:
         small = make_platform_model(2)
         large = make_platform_model(16)
         small_cost = evaluate_mapping(
-            graph, small, greedy_load_balance_map(graph, small)
+            graph,
+            small,
+            greedy_load_balance_map(graph, small),
+            cached_routing(small.topology),
         )
         large_cost = evaluate_mapping(
-            graph, large, greedy_load_balance_map(graph, large)
+            graph,
+            large,
+            greedy_load_balance_map(graph, large),
+            cached_routing(large.topology),
         )
         assert large_cost.makespan_cycles <= small_cost.makespan_cycles * 1.05
 

@@ -137,3 +137,54 @@ def test_property_minimal_routes(terminals, kind, src, dst, flow):
     edges = set(topo.edges)
     for u, v in zip(path, path[1:]):
         assert (u, v) in edges
+
+
+class TestRoutingCaches:
+    def test_cached_routing_shares_one_table(self):
+        from repro.noc.routing import cached_routing
+
+        a = cached_routing(mesh(16))
+        b = cached_routing(mesh(16))       # structurally identical
+        assert a is b
+
+    def test_cached_routing_distinguishes_topologies(self):
+        from repro.noc.routing import cached_routing
+
+        assert cached_routing(mesh(16)) is not cached_routing(torus(16))
+        assert cached_routing(mesh(16)) is not cached_routing(mesh(12))
+
+    def test_cached_routing_matches_build_routing(self):
+        from repro.noc.routing import cached_routing
+
+        for builder in ALL_BUILDERS:
+            topo = builder(16)
+            fresh = build_routing(topo)
+            shared = cached_routing(topo)
+            assert shared.distance == fresh.distance
+            assert shared.next_hops == fresh.next_hops
+
+    def test_route_paths_memoized_and_stable(self):
+        routing = build_routing(fat_tree(16))
+        first = routing.route(0, 3, flow=7)
+        again = routing.route(0, 3, flow=7)
+        assert again is first               # memo hit
+        assert routing.route(0, 3, flow=7) == first
+
+    def test_average_distance_matches_naive_pair_walk(self):
+        for builder in ALL_BUILDERS:
+            topo = builder(16)
+            routing = build_routing(topo)
+            total = 0
+            count = 0
+            for src in range(topo.num_terminals):
+                for dst in range(topo.num_terminals):
+                    if src == dst:
+                        continue
+                    total += routing.distance[topo.terminal_router[src]][
+                        topo.terminal_router[dst]
+                    ]
+                    count += 1
+            naive = total / count
+            assert routing.average_distance() == naive
+            # Memoized second call returns the same value.
+            assert routing.average_distance() == naive

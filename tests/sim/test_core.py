@@ -94,6 +94,82 @@ class TestSimulatorClock:
         assert times == [10.0, 15.0]
 
 
+class TestRunStepsHorizon:
+    def test_until_leaves_later_events_queued(self):
+        sim = Simulator()
+        fired = []
+        for delay in (10.0, 20.0, 100.0):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        executed = sim.run_steps(10, until=50.0)
+        assert executed == 2
+        assert fired == [10.0, 20.0]
+        assert sim.now == 50.0  # clock advanced exactly to the horizon
+
+    def test_until_not_advanced_when_budget_exhausted(self):
+        sim = Simulator()
+        for delay in (10.0, 20.0, 30.0):
+            sim.schedule(delay, lambda: None)
+        executed = sim.run_steps(1, until=50.0)
+        assert executed == 1
+        assert sim.now == 10.0  # eligible events remain; clock stays put
+
+    def test_until_with_empty_queue_advances_clock(self):
+        sim = Simulator()
+        assert sim.run_steps(5, until=42.0) == 0
+        assert sim.now == 42.0
+
+    def test_stepped_matches_free_running(self):
+        """Stepping one event at a time replays run() exactly."""
+
+        def build(sim, log):
+            def proc(name, delay):
+                for _ in range(4):
+                    yield Timeout(delay)
+                    log.append((name, sim.now))
+
+            sim.spawn(proc("a", 3.0))
+            sim.spawn(proc("b", 2.0))
+
+        free_sim = Simulator()
+        free_log = []
+        build(free_sim, free_log)
+        free_sim.run(until=9.0)
+
+        step_sim = Simulator()
+        step_log = []
+        build(step_sim, step_log)
+        while step_sim.run_steps(1, until=9.0):
+            pass
+        assert step_log == free_log
+        assert step_sim.now == free_sim.now
+        assert step_sim.events_executed == free_sim.events_executed
+
+
+class TestSameTimeBatching:
+    def test_callbacks_scheduled_mid_batch_join_it(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: (order.append("first"),
+                                   sim.schedule(0.0, lambda: order.append("nested"))))
+        sim.schedule(5.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "nested"]
+        assert sim.now == 5.0
+
+    def test_event_trigger_outside_run_dispatches_on_next_run(self):
+        sim = Simulator()
+        seen = []
+        event = sim.event()
+        event.callbacks.append(lambda ev: seen.append(ev.value))
+        event.succeed("x")
+        sim.run()
+        assert seen == ["x"]
+        # Callbacks added after triggering never fire (unchanged rule).
+        event.callbacks.append(lambda ev: seen.append("late"))
+        sim.run()
+        assert seen == ["x"]
+
+
 class TestEvent:
     def test_event_starts_pending(self):
         event = Simulator().event("e")
