@@ -19,7 +19,7 @@ from repro.engine.registry import scenario
 # A1: NoC router pipeline depth
 # ---------------------------------------------------------------------------
 
-def sweep_router_delay(delays=(1.0, 2.0, 4.0, 8.0)):
+def sweep_router_delay(delays=(1.0, 2.0, 4.0, 8.0), mode="flow"):
     """Deeper router pipelines raise zero-load latency, not throughput."""
     from repro.noc.metrics import simulate_traffic
     from repro.noc.topology import mesh
@@ -34,6 +34,7 @@ def sweep_router_delay(delays=(1.0, 2.0, 4.0, 8.0)):
             duration=4000.0,
             warmup=1000.0,
             router_delay=delay,
+            mode=mode,
         )
         rows.append(
             {
@@ -49,11 +50,11 @@ def sweep_router_delay(delays=(1.0, 2.0, 4.0, 8.0)):
 @scenario(
     "A1",
     tags=("ablation", "noc"),
-    params={"delays": (1.0, 2.0, 4.0, 8.0)},
+    params={"delays": (1.0, 2.0, 4.0, 8.0), "mode": "flow"},
 )
-def a01_router_ablation(delays=(1.0, 2.0, 4.0, 8.0)) -> dict:
+def a01_router_ablation(delays=(1.0, 2.0, 4.0, 8.0), mode="flow") -> dict:
     """Ablation A1: NoC router pipeline depth."""
-    rows = sweep_router_delay(tuple(delays))
+    rows = sweep_router_delay(tuple(delays), mode=mode)
     latencies = [row["avg_latency"] for row in rows]
     accepted = [row["accepted"] for row in rows]
     return {
@@ -139,10 +140,9 @@ def sweep_stride(strides=(2, 4, 8), prefixes=20_000):
     rows = []
     for stride in strides:
         trie = LpmTrie(stride=stride)
-        for prefix, length, hop in table:
-            trie.insert(prefix, length, hop)
+        trie.insert_many(table)
         stats = trie.stats()
-        accesses = [trie.lookup(addr)[1] for addr in probes]
+        accesses = [acc for _hop, acc in trie.lookup_many(probes)]
         rows.append(
             {
                 "stride": stride,
@@ -156,7 +156,7 @@ def sweep_stride(strides=(2, 4, 8), prefixes=20_000):
 
 @scenario(
     "A3",
-    tags=("ablation", "apps"),
+    tags=("ablation", "apps", "perf"),
     params={"strides": (2, 4, 8), "prefixes": 20_000},
 )
 def a03_lpm_stride_ablation(strides=(2, 4, 8), prefixes=20_000) -> dict:

@@ -296,14 +296,21 @@ def e09_wire_delay() -> dict:
     "E10",
     tags=("experiments", "noc", "perf"),
     params={"terminals": 16, "loads": (0.05, 0.15, 0.3, 0.5),
-            "duration": 4000.0},
+            "duration": 4000.0, "mode": "flow"},
 )
 def e10_noc_topologies(
     terminals: int = 16,
     loads: tuple = (0.05, 0.15, 0.3, 0.5),
     duration: float = 4000.0,
+    mode: str = "flow",
 ) -> dict:
-    """E10: characterize bus/ring/tree/mesh/torus/crossbar/fat-tree."""
+    """E10: characterize bus/ring/tree/mesh/torus/crossbar/fat-tree.
+
+    Runs in the batched flow-level NoC mode by default (the analytic
+    fast path, validated against DES by ``tests/noc/test_flow.py``);
+    override with ``spec.with_params(mode="des")`` for the
+    packet-granular event simulation.
+    """
     builders = [bus, ring, tree, mesh, torus, fat_tree, crossbar]
     rows = []
     for build in builders:
@@ -315,6 +322,7 @@ def e10_noc_topologies(
                 load,
                 duration=duration,
                 warmup=duration / 4,
+                mode=mode,
             )
             rows.append(metrics.as_row())
     by_topology: Dict[str, List[dict]] = {}
@@ -648,7 +656,7 @@ def e17_memory_tradeoff(
 
 @scenario(
     "E18",
-    tags=("experiments", "apps"),
+    tags=("experiments", "apps", "perf"),
     params={"table_sizes": (1_000, 10_000, 100_000)},
 )
 def e18_npse_vs_cam(table_sizes: tuple = (1_000, 10_000, 100_000)) -> dict:
@@ -659,9 +667,9 @@ def e18_npse_vs_cam(table_sizes: tuple = (1_000, 10_000, 100_000)) -> dict:
         trie = build_trie(table)
         cam = build_cam(table)
         stats = trie.stats()
-        # Average accesses over a sample of lookups.
+        # Average accesses over a sample of lookups (batched).
         sample = [entry[0] | 0x123 for entry in table[: min(500, size)]]
-        accesses = [trie.lookup(addr)[1] for addr in sample]
+        accesses = [acc for _hop, acc in trie.lookup_many(sample)]
         avg_accesses = sum(accesses) / len(accesses)
         trie_energy = avg_accesses * SRAM_READ_PJ
         cam_model = cam.model()

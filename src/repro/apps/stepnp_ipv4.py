@@ -137,14 +137,15 @@ def run_ipv4_on_stepnp(
     sim = platform.sim
 
     def ingress():
-        gap = trace.interarrival_cycles
-        for header in trace.headers:
-            from repro.apps.ipv4 import parse_header
+        from repro.apps.ipv4 import dst_address
 
-            dst = parse_header(header).dst
-            event = proxy.call("process", dst, header)
+        gap = trace.interarrival_cycles
+        call = proxy.call
+        record = completions.append
+        for header in trace.headers:
+            event = call("process", dst_address(header), header)
             event.callbacks.append(
-                lambda ev: completions.append((ev.value, sim.now))
+                lambda ev: record((ev.value, sim.now))
             )
             yield Timeout(gap)
 
@@ -157,8 +158,11 @@ def run_ipv4_on_stepnp(
     min_util = platform.min_pe_utilization()
     in_window = len(completions)
     drain_limit = window + 50_000.0
+    # Drain in event batches (not 1-cycle run() slices): stop as soon
+    # as every packet completed or the drain horizon is reached.
     while len(completions) < trace.count and sim.peek() <= drain_limit:
-        platform.run(until=min(sim.peek() + 1.0, drain_limit))
+        if sim.run_steps(256, until=drain_limit) == 0:
+            break
     forwarded = sum(s.forwarded for s in servants)
     dropped = sum(s.dropped for s in servants)
     # Sustained rate = packets that completed inside the window.

@@ -9,7 +9,9 @@ paper's Section 7.2 result assumes.
 
 from __future__ import annotations
 
+from bisect import bisect
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import List, Tuple
 
 from repro.apps.cam import CamTable
@@ -43,14 +45,23 @@ def random_prefix_table(
         raise ValueError(f"need >=1 next hop, got {next_hops}")
     rng = RandomStreams(seed).get("prefix_table")
     lengths = [l for l, _w in PREFIX_LENGTH_WEIGHTS]
-    weights = [w for _l, w in PREFIX_LENGTH_WEIGHTS]
+    # One weighted draw per prefix is the hot path of every table
+    # build, so the cumulative weights are prepared once and each draw
+    # is a single bisect — the exact operation ``rng.choices`` performs
+    # internally (identical float math, so identical tables), without
+    # its per-call accumulate/validation/list overhead.
+    cum_weights = list(accumulate(w for _l, w in PREFIX_LENGTH_WEIGHTS))
+    total = cum_weights[-1] + 0.0
+    hi = len(lengths) - 1
+    random = rng.random
+    getrandbits = rng.getrandbits
     table: List[Tuple[int, int, int]] = []
     seen = set()
     if include_default:
         table.append((0, 0, 0))
     while len(table) < prefixes:
-        length = rng.choices(lengths, weights)[0]
-        value = rng.getrandbits(length) << (32 - length)
+        length = lengths[bisect(cum_weights, random() * total, 0, hi)]
+        value = getrandbits(length) << (32 - length)
         if (value, length) in seen:
             continue
         seen.add((value, length))
@@ -59,10 +70,9 @@ def random_prefix_table(
 
 
 def build_trie(table: List[Tuple[int, int, int]], stride: int = 8) -> LpmTrie:
-    """Load a prefix table into a trie."""
+    """Load a prefix table into a trie (bulk-load fast path)."""
     trie = LpmTrie(stride=stride)
-    for prefix, length, next_hop in table:
-        trie.insert(prefix, length, next_hop)
+    trie.insert_many(table)
     return trie
 
 

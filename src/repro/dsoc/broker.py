@@ -131,10 +131,17 @@ class Proxy:
         self.name = name
         self.interface = broker.lookup(name).interface
         self.calls_issued = 0
+        # Method signatures resolved once per proxy, not once per call
+        # (line-rate clients issue one call per packet).
+        self._signatures = {
+            m.name: m for m in self.interface.methods
+        }
 
     def call(self, method: str, *args: Any) -> Event:
         """Invoke *method* with positional *args*; returns a result event."""
-        signature = self.interface.method(method)
+        signature = self._signatures.get(method)
+        if signature is None:
+            signature = self.interface.method(method)  # raises IdlError
         signature.check_args(args)
         replica = self._broker.pick_replica(self.name)
         self.calls_issued += 1

@@ -162,11 +162,20 @@ def _decode(data: bytes, offset: int) -> tuple[Any, int]:
     raise MarshalError(f"unknown type tag 0x{tag:02x}")
 
 
+#: Reusable encode buffer: every request/response marshals through
+#: here, so the per-message bytearray allocation is paid once per
+#: process instead of once per call.  ``_encode`` never re-enters
+#: ``dumps`` (it recurses on ``_encode`` directly), so reuse is safe in
+#: the single-threaded simulation; the returned ``bytes`` is a copy.
+_ENCODE_BUFFER = bytearray()
+
+
 def dumps(value: Any) -> bytes:
     """Marshal *value* to the compact binary wire format."""
-    out = bytearray()
-    _encode(value, out)
-    return bytes(out)
+    buf = _ENCODE_BUFFER
+    del buf[:]
+    _encode(value, buf)
+    return bytes(buf)
 
 
 def loads(data: bytes) -> Any:

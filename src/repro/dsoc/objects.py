@@ -12,7 +12,7 @@ structure the MultiFlex mapping exploits.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Dict, Generator
 
 from repro.dsoc.idl import IdlError, Interface
 from repro.noc.ocp import OcpMaster
@@ -84,10 +84,22 @@ class DsocObject:
                 f"{type(self).__name__} is missing servant methods: "
                 + ", ".join(f"serve_{m}" for m in missing)
             )
+        # Per-instance dispatch table: the broker resolves a servant
+        # generator once per request, so this lookup is on the DSOC
+        # hot path — a dict hit instead of an interface walk + getattr.
+        self._dispatch_table: Dict[str, Callable[..., Generator]] = {
+            m.name: getattr(self, f"serve_{m.name}")
+            for m in self.interface.methods
+        }
 
     def dispatch(
         self, method: str
     ) -> Callable[..., Generator[Any, Any, Any]]:
         """Return the servant generator for *method* (validated)."""
-        self.interface.method(method)  # raises IdlError on unknown method
-        return getattr(self, f"serve_{method}")
+        servant = self._dispatch_table.get(method)
+        if servant is None:
+            self.interface.method(method)  # raises IdlError with context
+            raise IdlError(  # pragma: no cover - method() always raises
+                f"no servant for {method!r}"
+            )
+        return servant

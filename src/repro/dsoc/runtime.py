@@ -222,16 +222,22 @@ class DsocRuntime:
 
         def body(ctx):
             svc = ServiceContext(binding.pe.master, ctx)
+            # Hot loop: one iteration per served request — resolve the
+            # per-call attribute chain once per thread, not per packet.
+            dispatch = binding.servant.dispatch
+            inbox_get = binding.inbox.get
+            remote = ctx.remote
+            item_done = ctx.item_done
+            respond = endpoint.respond
             while True:
-                request = yield from ctx.remote(binding.inbox.get())
+                request = yield from remote(inbox_get())
                 request_id, client, oneway, blob = request
-                name, method, args = loads(blob)
-                servant_gen = binding.servant.dispatch(method)(ctx, svc, *args)
-                result = yield from servant_gen
+                _name, method, args = loads(blob)
+                result = yield from dispatch(method)(ctx, svc, *args)
                 binding.served += 1
-                ctx.item_done()
+                item_done()
                 if not oneway:
-                    endpoint.respond(request_id, client, result)
+                    respond(request_id, client, result)
 
         return body
 

@@ -9,6 +9,7 @@ Examples::
     python -m repro run --tags experiments --out report.json
     python -m repro report report.json --full
     python -m repro bench --tags perf --threshold 0.25
+    python -m repro bench --profile --tags perf
 """
 
 from __future__ import annotations
@@ -99,8 +100,15 @@ def cmd_run(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.engine.perf import run_bench
+    from repro.engine.perf import run_bench, run_profile
 
+    if args.profile:
+        return run_profile(
+            tags=_split_tags(args.tags),
+            names=args.names or None,
+            out=args.profile_out,
+            quiet=args.quiet,
+        )
     return run_bench(
         tags=_split_tags(args.tags),
         names=args.names or None,
@@ -220,6 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None,
         help="optional result-cache dir (benchmarks default to uncached "
         "so wall times are real)",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="cProfile each scenario serially and write the top-20 "
+        "cumulative functions per scenario (skips the trajectory and "
+        "the regression gate: instrumented times are not comparable)",
+    )
+    p_bench.add_argument(
+        "--profile-out", default="BENCH_PROFILE.json",
+        help="profile payload path (default BENCH_PROFILE.json)",
     )
     p_bench.add_argument("--quiet", action="store_true")
     p_bench.set_defaults(fn=cmd_bench)

@@ -123,6 +123,11 @@ class BenchComparison:
     current_total_s: float
     regressions: List[str]         # per-scenario informational flags
     regressed: bool                # total exceeded the threshold
+    #: scenarios left out of the comparison because one side replayed
+    #: them from the result cache (a replay's wall time measures the
+    #: cache, not the scenario — comparing it would mask regressions
+    #: or fake wins).
+    excluded_cached: int = 0
 
     @property
     def ratio(self) -> float:
@@ -138,6 +143,11 @@ class BenchComparison:
             f"{self.current_total_s:.2f}s ({self.ratio:.2f}x, "
             f"threshold {1.0 + self.threshold:.2f}x)",
         ]
+        if self.excluded_cached:
+            lines.append(
+                f"  {self.excluded_cached} scenario(s) excluded from the "
+                "gate: cache replays, not fresh measurements"
+            )
         for name in self.regressions:
             lines.append(f"  slower: {name}")
         lines.append(
@@ -149,10 +159,19 @@ class BenchComparison:
 
 
 def _wall_times(payload: dict) -> Dict[str, float]:
+    """Scenario -> fresh wall time; cache replays are never comparable."""
     return {
         b["scenario"]: b["wall_time_s"]
         for b in payload.get("benchmarks", [])
         if b.get("status") == "ok" and not b.get("cached")
+    }
+
+
+def _names(payload: dict) -> set:
+    return {
+        b["scenario"]
+        for b in payload.get("benchmarks", [])
+        if b.get("status") == "ok"
     }
 
 
@@ -162,14 +181,21 @@ def compare_payloads(
     """Gate *current* against *baseline* over their shared scenarios.
 
     Only the intersection is compared, so a ``--tags smoke`` run gates
-    cleanly against a committed full-suite baseline.  The pass/fail
-    verdict is on the summed wall time; per-scenario slowdowns beyond
-    the threshold are reported informationally (they are noisy in
-    isolation, especially under worker contention).
+    cleanly against a committed full-suite baseline.  Scenarios either
+    side replayed from the result cache (``"cached": true``) are
+    excluded — a replay's wall time measures the cache, so letting it
+    into the comparison would mask a real regression or fake a win —
+    and the exclusion count is reported.  The pass/fail verdict is on
+    the summed wall time; per-scenario slowdowns beyond the threshold
+    are reported informationally (they are noisy in isolation,
+    especially under worker contention).
     """
     base = _wall_times(baseline)
     cur = _wall_times(current)
     shared = sorted(set(base) & set(cur), key=registry.natural_key)
+    excluded_cached = len(
+        (_names(current) & _names(baseline)) - set(shared)
+    )
     base_total = sum(base[name] for name in shared)
     cur_total = sum(cur[name] for name in shared)
     regressions = [
@@ -191,7 +217,104 @@ def compare_payloads(
             and cur_total > base_total * (1.0 + threshold)
             and cur_total - base_total > _MIN_COMPARABLE_S
         ),
+        excluded_cached=excluded_cached,
     )
+
+
+PROFILE_SCHEMA = "repro-bench-profile-v1"
+
+
+def profile_payload(
+    entries: Sequence, top: int = 20, quiet: bool = False
+) -> dict:
+    """cProfile every entry serially; keep the top cumulative functions.
+
+    Returns the ``repro-bench-profile-v1`` payload: per scenario, its
+    profiled wall time and the *top* functions by cumulative time
+    (``ncalls``/``tottime``/``cumtime``) — the data future perf PRs
+    should start from instead of guessing.
+    """
+    import cProfile
+    import pstats
+
+    from repro.engine.executor import run_spec
+
+    scenarios = []
+    for entry in entries:
+        profiler = cProfile.Profile()
+        start = time.perf_counter()
+        profiler.enable()
+        result = run_spec(entry.spec, backend="profile")
+        profiler.disable()
+        elapsed = time.perf_counter() - start
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        functions = []
+        for func in stats.fcn_list[: top + 5]:  # type: ignore[attr-defined]
+            file, line, name = func
+            cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+            if name in ("<built-in method builtins.exec>",) or (
+                file == "~" and "profiler" in name
+            ):
+                continue
+            functions.append(
+                {
+                    "function": name,
+                    "file": file,
+                    "line": line,
+                    "ncalls": ncalls,
+                    "primitive_calls": cc,
+                    "tottime_s": round(tottime, 4),
+                    "cumtime_s": round(cumtime, 4),
+                }
+            )
+            if len(functions) == top:
+                break
+        scenarios.append(
+            {
+                "scenario": entry.name,
+                "status": result.status,
+                "wall_time_s": round(elapsed, 4),
+                "top_functions": functions,
+            }
+        )
+        if not quiet:
+            print(f"  {entry.name:<14} {result.status:<7} {elapsed:.2f}s")
+    return {
+        "schema": PROFILE_SCHEMA,
+        "code_version": compute_code_version(),
+        "top": top,
+        "scenarios": scenarios,
+    }
+
+
+def run_profile(
+    tags: Optional[Sequence[str]] = None,
+    names: Optional[Sequence[str]] = None,
+    out: str | Path = "BENCH_PROFILE.json",
+    top: int = 20,
+    quiet: bool = False,
+) -> int:
+    """``python -m repro bench --profile``: write ``BENCH_PROFILE.json``.
+
+    Runs serially (a profiler per worker process would be meaningless)
+    and skips the trajectory and the regression gate — profiled wall
+    times carry instrumentation overhead and must never be compared
+    against uninstrumented baselines.
+    """
+    entries = registry.select(tags=list(tags) if tags else None,
+                              names=list(names) if names else None)
+    if not entries:
+        print("no scenarios selected")
+        return 2
+    payload = profile_payload(entries, top=top, quiet=quiet)
+    Path(out).write_text(json.dumps(payload, indent=1, default=str) + "\n")
+    failed = sum(1 for s in payload["scenarios"] if s["status"] != "ok")
+    print(
+        f"\nwrote {out}: {len(payload['scenarios'])} scenarios profiled, "
+        f"top {top} cumulative functions each"
+    )
+    return EXIT_SCENARIOS_FAILED if failed else EXIT_OK
 
 
 def run_bench(
@@ -262,6 +385,14 @@ def run_bench(
         f"{payload['failed']} failed, "
         f"{payload['total_wall_time_s']:.2f}s total"
     )
+    replayed = sum(1 for b in payload["benchmarks"] if b["cached"])
+    if replayed:
+        print(
+            f"warning: {replayed} scenario(s) replayed from the result "
+            "cache (marked \"cached\": true); their wall times are not "
+            "fresh measurements and are excluded from the regression "
+            "gate — this payload is not a full benchmark baseline"
+        )
     if trajectory:
         append_trajectory(trajectory, trajectory_entry(payload, tags))
         print(f"appended trajectory entry to {trajectory}")

@@ -82,8 +82,18 @@ def explore(
     mappers: Optional[Iterable[str]] = None,
     include_annealing: bool = False,
     dsp_fraction: float = 0.25,
+    random_candidates: int = 0,
+    candidate_seed: int = 17,
 ) -> List[DesignPoint]:
-    """Full-factorial sweep; returns every evaluated design point."""
+    """Full-factorial sweep; returns every evaluated design point.
+
+    ``random_candidates > 0`` additionally scores that many random
+    placements per platform through
+    :meth:`~repro.mapping.evaluator.MappingEvaluator.evaluate_batch`
+    (the vectorized DSE scoring path) and keeps the best as a
+    ``random_best`` design point — a cheap sampled baseline between
+    the constructive mappers and full annealing.
+    """
     mapper_names = list(mappers) if mappers is not None else sorted(MAPPERS)
     points: List[DesignPoint] = []
     for num_pes in pe_counts:
@@ -106,6 +116,32 @@ def explore(
                         pe_mix=f"dsp{dsp_fraction:.0%}",
                         mapper=mapper_name,
                         cost=cost,
+                        area_proxy=area,
+                    )
+                )
+            if random_candidates > 0:
+                from repro.sim.rng import RandomStreams
+
+                rng = RandomStreams(candidate_seed).get(
+                    f"dse.batch.{num_pes}.{topology.value}"
+                )
+                batch = [
+                    [rng.randrange(num_pes) for _ in range(evaluator.num_tasks)]
+                    for _ in range(random_candidates)
+                ]
+                costs = evaluator.evaluate_batch(
+                    batch, mapper_name="random_best"
+                )
+                best = min(
+                    costs, key=lambda c: c.makespan_cycles
+                )
+                points.append(
+                    DesignPoint(
+                        num_pes=num_pes,
+                        topology=topology.value,
+                        pe_mix=f"dsp{dsp_fraction:.0%}",
+                        mapper="random_best",
+                        cost=best,
                         area_proxy=area,
                     )
                 )
@@ -148,8 +184,13 @@ def dse_sweep(
     topologies: Sequence[str] = ("mesh", "fat_tree", "ring"),
     dsp_fraction: float = 0.25,
     include_annealing: bool = False,
+    random_candidates: int = 0,
 ) -> dict:
-    """The Section-7.2 exploration loop as one engine scenario."""
+    """The Section-7.2 exploration loop as one engine scenario.
+
+    ``spec.with_params(random_candidates=N)`` adds the batched random
+    sampling baseline (vectorized scoring via ``evaluate_batch``).
+    """
     from repro.mapping.taskgraph import layered_random_graph
 
     graph = layered_random_graph(tasks, layers=layers, seed=seed)
@@ -159,6 +200,7 @@ def dse_sweep(
         topologies=tuple(TopologyKind(t) for t in topologies),
         include_annealing=include_annealing,
         dsp_fraction=dsp_fraction,
+        random_candidates=random_candidates,
     )
     front = pareto_points(points)
     front_keys = {

@@ -11,12 +11,11 @@ optimizes.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.mapping.taskgraph import TaskGraph
-from repro.noc.routing import RoutingTable, cached_routing
+from repro.noc.routing import RoutingTable
 from repro.noc.topology import Topology, TopologyKind
 
 #: Type alias: task name -> PE index.
@@ -92,22 +91,20 @@ def evaluate_mapping(
     :mod:`repro.mapping.evaluator` must stay in lockstep with it (see
     ``MappingEvaluator.evaluate_assignment``).
 
-    .. deprecated:: PR2
-        Calling without *routing* is deprecated: it used to rebuild the
-        BFS routing table on every call.  Pass a shared table (see
-        :func:`repro.noc.routing.cached_routing`) or use
-        :class:`repro.mapping.evaluator.MappingEvaluator`, which also
-        precomputes the per-(graph, platform) arrays.
+    *routing* is required (it was deprecated-optional in PR 2, a hard
+    error since PR 3): pass
+    ``cached_routing(platform.topology)`` — see
+    :func:`repro.noc.routing.cached_routing` — or use
+    :class:`repro.mapping.evaluator.MappingEvaluator`, which also
+    precomputes the per-(graph, platform) arrays.
     """
     _validate(graph, platform, mapping)
     if routing is None:
-        warnings.warn(
-            "evaluate_mapping(routing=None) is deprecated; pass "
-            "cached_routing(platform.topology) or use MappingEvaluator",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "evaluate_mapping() requires a routing table; pass "
+            "repro.noc.routing.cached_routing(platform.topology) (shared "
+            "BFS memo) or use repro.mapping.evaluator.MappingEvaluator"
         )
-        routing = cached_routing(platform.topology)
     pe_free = [0.0] * platform.num_pes
     pe_busy = [0.0] * platform.num_pes
     finish: Dict[str, float] = {}

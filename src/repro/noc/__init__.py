@@ -14,6 +14,9 @@ application domains".  This package does that characterization:
 * :mod:`repro.noc.traffic` — synthetic traffic patterns (uniform,
   transpose, bit-complement, hotspot, neighbour);
 * :mod:`repro.noc.metrics` — latency/throughput measurement;
+* :mod:`repro.noc.flow` — the batched flow-level (analytic) mode:
+  demand matrices pushed through the shared routing tables, producing
+  the same metrics as the event model without per-hop events;
 * :mod:`repro.noc.ocp` — an OCP-IP-style request/response socket layer
   used by the processor and DSOC runtimes.
 """
@@ -37,10 +40,14 @@ from repro.noc.link import Link
 from repro.noc.network import Network
 from repro.noc.traffic import TrafficGenerator, TrafficPattern
 from repro.noc.metrics import NocMetrics, simulate_traffic
+from repro.noc.flow import FlowModel, demand_matrix, flow_traffic_metrics
 
 __all__ = [
+    "FlowModel",
     "Link",
     "Network",
+    "demand_matrix",
+    "flow_traffic_metrics",
     "NocMetrics",
     "Packet",
     "RoutingTable",

@@ -61,6 +61,7 @@ def simulate_traffic(
     router_delay: float = 2.0,
     seed: int = 1,
     saturation_latency_factor: float = 8.0,
+    mode: str = "des",
 ) -> NocMetrics:
     """Run one (topology, pattern, load) point and collect metrics.
 
@@ -69,7 +70,30 @@ def simulate_traffic(
     ``saturated`` when average measured latency exceeds
     *saturation_latency_factor* times the zero-load latency or when the
     network delivers markedly less than was offered.
+
+    ``mode`` selects the evaluation backend: ``"des"`` is the
+    packet-granular event simulation; ``"flow"`` computes the same
+    metrics in closed form from per-(src, dst) demand matrices
+    (:mod:`repro.noc.flow`) — orders of magnitude faster, validated
+    against DES within the envelope documented in
+    ``docs/performance.md``.
     """
+    if mode == "flow":
+        from repro.noc.flow import flow_traffic_metrics
+
+        return flow_traffic_metrics(
+            topology,
+            pattern,
+            offered_load,
+            duration=duration,
+            warmup=warmup,
+            packet_size=packet_size,
+            router_delay=router_delay,
+            seed=seed,
+            saturation_latency_factor=saturation_latency_factor,
+        )
+    if mode != "des":
+        raise ValueError(f"unknown NoC mode {mode!r}; use 'des' or 'flow'")
     if warmup >= duration:
         raise ValueError(f"warmup {warmup} must be shorter than duration {duration}")
     sim = Simulator()

@@ -20,6 +20,12 @@ from repro.noc.topology import Topology
 #: Knuth multiplicative hash constant for flow spreading.
 _HASH_MULT = 2654435761
 
+#: Terminal-pair -> flow id derivation shared by every transport mode:
+#: ``flow = src * FLOW_ID_MULT + dst``.  The DES network, the flow-mode
+#: fast path and the analytic flow model must all use this constant so
+#: their ECMP path choices (and therefore link accounting) coincide.
+FLOW_ID_MULT = 65537
+
 
 def _flow_hash(flow: int, node: int, dst: int) -> int:
     value = (flow * _HASH_MULT) ^ (node * 40503) ^ (dst * 65599)

@@ -206,3 +206,115 @@ def test_property_every_inserted_prefix_base_address_hits(table, stride):
     for (prefix, length), _hop in seen.items():
         got, _accesses = trie.lookup(prefix)
         assert got is not None  # base address always matches something
+
+
+class TestBulkOperations:
+    """insert_many/lookup_many must be exact equivalents of the
+    one-at-a-time API (the bulk paths reorder inserts internally)."""
+
+    def _tries(self, table, stride):
+        sequential = LpmTrie(stride=stride)
+        for prefix, length, hop in table:
+            sequential.insert(prefix, length, hop)
+        bulk = LpmTrie(stride=stride)
+        bulk.insert_many(table)
+        return sequential, bulk
+
+    @pytest.mark.parametrize("stride", [2, 4, 8])
+    def test_insert_many_matches_sequential_inserts(self, stride):
+        table = random_prefix_table(2000, seed=5)
+        sequential, bulk = self._tries(table, stride)
+        assert sequential.stats() == bulk.stats()
+        probes = [(p | 0x0101) & 0xFFFFFFFF for p, _l, _h in table[:300]]
+        assert bulk.lookup_many(probes) == [
+            sequential.lookup(a) for a in probes
+        ]
+
+    def test_insert_many_default_route_and_overrides(self):
+        # Default route, a covering /8 and a more-specific /16 —
+        # insertion order scrambled; longest prefix must still win.
+        table = [
+            (0x0A0B0000, 16, 3),
+            (0, 0, 9),
+            (0x0A000000, 8, 7),
+        ]
+        sequential, bulk = self._tries(table, 8)
+        for address, expected in (
+            (0x0A0B0C0D, 3),
+            (0x0A990000, 7),
+            (0xC0000001, 9),
+        ):
+            assert bulk.lookup(address) == sequential.lookup(address)
+            assert bulk.lookup(address)[0] == expected
+
+    def test_insert_many_equal_length_later_entry_wins(self):
+        table = [(0x0A000000, 8, 1), (0x0A000000, 8, 2)]
+        sequential, bulk = self._tries(table, 8)
+        assert sequential.lookup(0x0A000001)[0] == 2
+        assert bulk.lookup(0x0A000001)[0] == 2
+
+    def test_insert_many_into_nonempty_trie_keeps_longer_prefixes(self):
+        # The sorted-overwrite fast path only applies to empty tries;
+        # bulk-loading on top of existing entries must not clobber a
+        # pre-existing longer prefix with a shorter one.
+        trie = LpmTrie(stride=8)
+        trie.insert(0x08000000, 6, 7)
+        trie.insert_many([(0x00000000, 4, 1)])
+        assert trie.lookup(0x08000001)[0] == 7
+        reference = LpmTrie(stride=8)
+        reference.insert(0x08000000, 6, 7)
+        reference.insert(0x00000000, 4, 1)
+        assert trie.stats() == reference.stats()
+        assert trie.lookup(0x00000001) == reference.lookup(0x00000001)
+
+    def test_lookup_many_validates_addresses(self):
+        trie = build_trie(random_prefix_table(10, seed=1))
+        with pytest.raises(ValueError):
+            trie.lookup_many([1 << 32])
+
+    @given(
+        table=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=(1 << 32) - 1),
+                st.integers(min_value=0, max_value=32),
+                st.integers(min_value=0, max_value=15),
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        stride=st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bulk_equals_sequential(self, table, stride):
+        # Mask host bits so entries are valid prefixes.
+        table = [
+            ((p >> (32 - l) << (32 - l)) if l else 0, l, h)
+            for p, l, h in table
+        ]
+        sequential, bulk = self._tries(table, stride)
+        assert sequential.stats() == bulk.stats()
+        probes = [p for p, _l, _h in table] + [0, 0xFFFFFFFF]
+        assert bulk.lookup_many(probes) == [
+            sequential.lookup(a) for a in probes
+        ]
+
+
+class TestPrefixTableGeneration:
+    def test_matches_reference_choices_draws(self):
+        """The inlined bisect draw must replicate rng.choices exactly."""
+        from repro.apps.trafficgen import PREFIX_LENGTH_WEIGHTS
+        from repro.sim.rng import RandomStreams
+
+        rng = RandomStreams(5).get("prefix_table")
+        lengths = [l for l, _w in PREFIX_LENGTH_WEIGHTS]
+        weights = [w for _l, w in PREFIX_LENGTH_WEIGHTS]
+        reference = [(0, 0, 0)]
+        seen = set()
+        while len(reference) < 500:
+            length = rng.choices(lengths, weights)[0]
+            value = rng.getrandbits(length) << (32 - length)
+            if (value, length) in seen:
+                continue
+            seen.add((value, length))
+            reference.append((value, length, rng.randrange(16)))
+        assert random_prefix_table(500, seed=5) == reference

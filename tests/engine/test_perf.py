@@ -210,3 +210,89 @@ class TestBenchCli:
             ]
         )
         assert code == 0
+
+
+class TestCachedRunHandling:
+    """Cache replays must be visibly flagged and never gate-comparable."""
+
+    def test_cached_in_current_counted_as_excluded(self):
+        base = payload("aaa", {"E1": 1.0, "E2": 2.0})
+        cur = payload("bbb", {"E1": 1.0, "E2": 9.0})
+        cur["benchmarks"][1]["cached"] = True  # a 9s "regression"… replayed
+        comparison = perf.compare_payloads(cur, base)
+        assert comparison.compared == 1
+        assert comparison.excluded_cached == 1
+        assert not comparison.regressed
+        assert "excluded from the gate" in comparison.render()
+
+    def test_cached_in_baseline_counted_as_excluded(self):
+        base = payload("aaa", {"E1": 1.0, "E2": 0.01})
+        base["benchmarks"][1]["cached"] = True  # fake 0.01s baseline win
+        cur = payload("bbb", {"E1": 1.0, "E2": 2.0})
+        comparison = perf.compare_payloads(cur, base)
+        assert comparison.compared == 1
+        assert comparison.excluded_cached == 1
+        assert not comparison.regressed
+
+    def test_warm_cache_bench_marks_and_warns(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        cache = tmp_path / "cache"
+        args = [
+            "bench", "--names", "E1", "--workers", "1",
+            "--out", str(out), "--no-trajectory",
+            "--cache", str(cache),
+        ]
+        assert cli_main(args) == 0
+        first = json.loads(out.read_text())
+        assert first["benchmarks"][0]["cached"] is False
+        capsys.readouterr()
+        # Warm cache: the replayed scenario is flagged, a warning is
+        # printed, and the gate has nothing fresh to compare.
+        assert cli_main(args) == 0
+        second = json.loads(out.read_text())
+        assert second["benchmarks"][0]["cached"] is True
+        stdout = capsys.readouterr().out
+        assert "replayed from the result cache" in stdout
+        assert "0 comparable scenarios" in stdout
+
+    def test_cached_runs_never_enter_trajectory(self, tmp_path):
+        out = tmp_path / "results.json"
+        traj = tmp_path / "traj.json"
+        cache = tmp_path / "cache"
+        args = [
+            "bench", "--names", "E1", "--workers", "1",
+            "--out", str(out), "--trajectory", str(traj),
+            "--cache", str(cache), "--no-compare",
+        ]
+        assert cli_main(args) == 0
+        assert cli_main(args) == 0
+        entries = json.loads(traj.read_text())["entries"]
+        assert len(entries) == 2
+        assert entries[0]["per_scenario_wall_s"].get("E1") is not None
+        assert entries[1]["per_scenario_wall_s"] == {}
+
+
+class TestProfileMode:
+    def test_profile_writes_top_functions(self, tmp_path):
+        out = tmp_path / "profile.json"
+        code = cli_main(
+            ["bench", "--profile", "--names", "E1", "A2",
+             "--profile-out", str(out), "--quiet"]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == perf.PROFILE_SCHEMA
+        assert data["top"] == 20
+        assert [s["scenario"] for s in data["scenarios"]] == ["A2", "E1"]
+        for scenario in data["scenarios"]:
+            assert scenario["status"] == "ok"
+            assert 0 < len(scenario["top_functions"]) <= 20
+            top = scenario["top_functions"][0]
+            assert {"function", "file", "line", "ncalls",
+                    "tottime_s", "cumtime_s"} <= set(top)
+            # Sorted by cumulative time, descending.
+            cums = [f["cumtime_s"] for f in scenario["top_functions"]]
+            assert cums == sorted(cums, reverse=True)
+
+    def test_profile_unknown_selection_errors(self, capsys):
+        assert cli_main(["bench", "--profile", "--tags", "nosuch"]) == 2

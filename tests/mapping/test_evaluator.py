@@ -240,14 +240,22 @@ class TestAnnealEquivalence:
         assert actual == expected
 
 
-class TestDeprecatedImplicitRouting:
-    def test_implicit_rebuild_warns(self):
+class TestImplicitRoutingRemoved:
+    """PR 2 deprecated ``routing=None``; PR 3 makes it a hard error."""
+
+    def test_missing_routing_is_a_hard_error(self):
         graph, platform = make_case("mesh", 8)
         mapping = round_robin_map(graph, platform)
-        with pytest.warns(DeprecationWarning, match="routing"):
+        with pytest.raises(TypeError, match="cached_routing"):
             evaluate_mapping(graph, platform, mapping)
 
-    def test_explicit_routing_does_not_warn(self, recwarn):
+    def test_error_points_at_the_evaluator_alternative(self):
+        graph, platform = make_case("mesh", 8)
+        mapping = round_robin_map(graph, platform)
+        with pytest.raises(TypeError, match="MappingEvaluator"):
+            evaluate_mapping(graph, platform, mapping, routing=None)
+
+    def test_explicit_routing_accepted(self, recwarn):
         graph, platform = make_case("mesh", 8)
         mapping = round_robin_map(graph, platform)
         evaluate_mapping(
@@ -258,12 +266,104 @@ class TestDeprecatedImplicitRouting:
             if issubclass(w.category, DeprecationWarning)
         ]
 
-    def test_implicit_path_uses_shared_cache(self):
-        graph, platform = make_case("mesh", 8)
-        mapping = round_robin_map(graph, platform)
-        with pytest.warns(DeprecationWarning):
-            implicit = evaluate_mapping(graph, platform, mapping)
-        explicit = evaluate_mapping(
-            graph, platform, mapping, cached_routing(platform.topology)
+
+class TestNumpyBatchEvaluation:
+    """evaluate_batch must be bit-identical to per-assignment
+    evaluation, with numpy on and off, on the A4/E15 seeds."""
+
+    def _case(self, kind="mesh", num_pes=8, tasks=60, seed=3):
+        # The exact (tasks, num_pes, seed) of scenarios A4 and E15.
+        graph = layered_random_graph(tasks, layers=6, seed=seed)
+        platform = make_platform_model(num_pes, kind, dsp_fraction=0.25)
+        return graph, platform
+
+    def _random_batch(self, evaluator, count, seed=31):
+        rng = random.Random(seed)
+        return [
+            [rng.randrange(evaluator.num_pes)
+             for _ in range(evaluator.num_tasks)]
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("kind,num_pes", TOPOLOGIES)
+    def test_batch_matches_reference_exactly(self, kind, num_pes):
+        graph, platform = self._case(kind, num_pes)
+        evaluator = MappingEvaluator(graph, platform)
+        routing = cached_routing(platform.topology)
+        batch = self._random_batch(evaluator, 16)
+        costs = evaluator.evaluate_batch(batch)
+        for assign, cost in zip(batch, costs):
+            mapping = evaluator.to_mapping(assign)
+            reference = evaluate_mapping(graph, platform, mapping, routing)
+            assert cost_tuple(cost) == cost_tuple(reference)
+
+    def test_numpy_on_off_bit_identical(self):
+        graph, platform = self._case()
+        with_np = MappingEvaluator(graph, platform, use_numpy=True)
+        without_np = MappingEvaluator(graph, platform, use_numpy=False)
+        batch = self._random_batch(with_np, 32)
+        on = with_np.evaluate_batch(batch)
+        off = without_np.evaluate_batch(batch)
+        assert [cost_tuple(c) for c in on] == [cost_tuple(c) for c in off]
+
+    def test_numpy_toggle_does_not_change_scalar_kernels(self):
+        graph, platform = self._case(tasks=40, seed=7)
+        with_np = MappingEvaluator(graph, platform, use_numpy=True)
+        without_np = MappingEvaluator(graph, platform, use_numpy=False)
+        mapping = greedy_load_balance_map(graph, platform)
+        assert cost_tuple(with_np.evaluate(mapping)) == cost_tuple(
+            without_np.evaluate(mapping)
         )
-        assert cost_tuple(implicit) == cost_tuple(explicit)
+        # Annealing (the E15/A4 hot path) too: identical fixed-seed runs.
+        a = anneal_map(graph, platform, iterations=150, evaluator=with_np)
+        b = anneal_map(graph, platform, iterations=150, evaluator=without_np)
+        assert a == b
+
+    def test_empty_and_single_batches(self):
+        graph, platform = self._case(tasks=20)
+        evaluator = MappingEvaluator(graph, platform)
+        assert evaluator.evaluate_batch([]) == []
+        assign = [0] * evaluator.num_tasks
+        (single,) = evaluator.evaluate_batch([assign])
+        assert cost_tuple(single) == cost_tuple(
+            evaluator.evaluate_assignment(assign)
+        )
+
+    def test_batch_validates_input(self):
+        graph, platform = self._case(tasks=10)
+        evaluator = MappingEvaluator(graph, platform)
+        with pytest.raises(ValueError, match="length"):
+            evaluator.evaluate_batch([[0, 1]])
+        with pytest.raises(ValueError, match="out of range"):
+            evaluator.evaluate_batch(
+                [[99] * evaluator.num_tasks]
+            )
+
+    def test_mapper_name_propagates(self):
+        graph, platform = self._case(tasks=10)
+        evaluator = MappingEvaluator(graph, platform)
+        batch = self._random_batch(evaluator, 3)
+        costs = evaluator.evaluate_batch(batch, mapper_name="sampled")
+        assert all(c.mapper == "sampled" for c in costs)
+
+
+class TestDseBatchSampling:
+    def test_random_candidates_adds_random_best_points(self):
+        from repro.mapping.dse import explore
+        from repro.mapping.taskgraph import layered_random_graph
+        from repro.noc.topology import TopologyKind
+
+        graph = layered_random_graph(20, layers=4, seed=7)
+        points = explore(
+            graph,
+            pe_counts=(4,),
+            topologies=(TopologyKind.MESH,),
+            random_candidates=25,
+        )
+        best = [p for p in points if p.mapper == "random_best"]
+        assert len(best) == 1
+        random_point = next(p for p in points if p.mapper == "random")
+        # A 25-sample best is no worse than one random draw... not
+        # guaranteed in general, but it must at least be a valid cost.
+        assert best[0].cost.makespan_cycles > 0
+        assert best[0].area_proxy == random_point.area_proxy
