@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Assert two engine report JSONs hold the same deterministic results.
+
+Usage: python scripts/compare_reports.py A.json B.json
+
+Compares the order-independent set of ``comparable_payload`` records
+(name, spec hash, status, verdict, rows) — the same equivalence the
+engine's serial-vs-parallel tests use.  Timing, backend, and cache
+provenance are expected to differ and are ignored.  Exit 0 on match,
+1 with a diff summary otherwise.
+
+CI uses this to assert round-trip fidelity: a ``repro submit`` stream
+through the scenario service must equal a local ``repro run`` of the
+same specs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine.results import Report  # noqa: E402
+
+
+def payload_index(report: Report) -> dict:
+    return {
+        (r.name, r.spec_hash): json.dumps(
+            r.comparable_payload(), sort_keys=True, default=str
+        )
+        for r in report
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    left, right = (payload_index(Report.load(path)) for path in argv)
+    ok = True
+    for key in sorted(set(left) | set(right)):
+        name, spec_hash = key
+        if key not in left:
+            print(f"MISSING in {argv[0]}: {name} ({spec_hash[:12]})")
+        elif key not in right:
+            print(f"MISSING in {argv[1]}: {name} ({spec_hash[:12]})")
+        elif left[key] != right[key]:
+            print(f"DIFFERS: {name} ({spec_hash[:12]})")
+        else:
+            continue
+        ok = False
+    if ok:
+        print(f"{len(left)} results identical across both reports")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,15 +1,23 @@
-"""``python -m repro`` — run, list and report scenarios.
+"""``repro`` / ``python -m repro`` — run, list, report and serve scenarios.
 
 Examples::
 
-    python -m repro list
-    python -m repro list --tags ablation,noc
-    python -m repro run --tags smoke --workers 2
-    python -m repro run --names E10 E14 --workers 4 --cache .repro_cache
-    python -m repro run --tags experiments --out report.json
-    python -m repro report report.json --full
-    python -m repro bench --tags perf --threshold 0.25
-    python -m repro bench --profile --tags perf
+    repro list
+    repro list --tags ablation,noc
+    repro run --tags smoke --workers 2
+    repro run --names E10 E14 --workers 4 --cache .repro_cache
+    repro run --names DSE --sweep seed=1,2,3,4 --shard 0/2
+    repro run --tags experiments --out report.json
+    repro report report.json --full
+    repro bench --tags perf --threshold 0.25
+    repro bench --profile --tags perf
+    repro serve --port 7341 --workers 4
+    repro submit --tags smoke --stream --out report.json
+    repro submit --names DSE --sweep seed=1,2,3,4 --shards 4
+    repro submit --shutdown
+
+(``repro`` is the installed console script; ``PYTHONPATH=src python -m
+repro`` is the equivalent from a bare checkout.)
 """
 
 from __future__ import annotations
@@ -35,6 +43,57 @@ def _selected(args) -> list:
     tags = _split_tags(args.tags)
     names = args.names or None
     return registry.select(tags=tags, names=names)
+
+
+def _parse_sweep(entries: Optional[List[str]]) -> dict:
+    """``PARAM=V1,V2,...`` options into sweep axes (JSON-ish values)."""
+    axes: dict = {}
+    for entry in entries or ():
+        if "=" not in entry:
+            raise ValueError(
+                f"--sweep needs PARAM=V1,V2,... (got {entry!r})"
+            )
+        name, _eq, values = entry.partition("=")
+        parsed = []
+        for raw in values.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue  # "p=" or "p=1,,2": empty is never a value
+            try:
+                parsed.append(json.loads(raw))
+            except json.JSONDecodeError:
+                parsed.append(raw)  # bare strings stay strings
+        if not parsed:
+            raise ValueError(f"--sweep axis {name!r} has no values")
+        axes[name.strip()] = parsed
+    return axes
+
+
+def _sweep_and_shard(specs: list, args) -> list:
+    """Apply ``--sweep`` expansion and ``--shard i/N`` selection."""
+    from repro.service.shard import expand_specs, parse_shard, shard_specs
+
+    axes = _parse_sweep(getattr(args, "sweep", None))
+    if axes:
+        specs = expand_specs(specs, axes)
+    if getattr(args, "shard", None):
+        index, total = parse_shard(args.shard)
+        specs = shard_specs(specs, index, total)
+    return specs
+
+
+def _progress_printer(quiet: bool):
+    def progress(result: ScenarioResult) -> None:
+        if quiet:
+            return
+        origin = "cached" if result.cached else result.backend
+        print(
+            f"  {result.name:<14} {result.status:<7} "
+            f"[{origin}] {result.elapsed_s:.2f}s",
+            flush=True,
+        )
+
+    return progress
 
 
 def cmd_list(args) -> int:
@@ -69,18 +128,16 @@ def cmd_run(args) -> int:
     if not entries:
         print("no scenarios selected", file=sys.stderr)
         return 2
-    specs = [e.spec for e in entries]
+    try:
+        specs = _sweep_and_shard([e.spec for e in entries], args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("shard selects zero specs", file=sys.stderr)
+        return 2
     cache = None if args.no_cache else ResultCache(args.cache)
-
-    def progress(result: ScenarioResult) -> None:
-        if args.quiet:
-            return
-        origin = "cached" if result.cached else result.backend
-        print(
-            f"  {result.name:<14} {result.status:<7} "
-            f"[{origin}] {result.elapsed_s:.2f}s",
-            flush=True,
-        )
+    progress = _progress_printer(args.quiet)
 
     report = execute(
         specs,
@@ -121,6 +178,94 @@ def cmd_bench(args) -> int:
         cache_dir=args.cache,
         quiet=args.quiet,
     )
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.backend import make_service_backend
+    from repro.service.protocol import PROTOCOL_VERSION
+    from repro.service.server import ScenarioServer
+
+    backend = make_service_backend(
+        "local",
+        workers=args.workers,
+        timeout_s=args.timeout,
+        executor=args.backend,
+        cache=None if args.no_cache else args.cache,
+    )
+    server = ScenarioServer(backend, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving scenarios on {server.host}:{server.port} "
+            f"(protocol v{PROTOCOL_VERSION}, "
+            f"backend {backend.describe()})",
+            flush=True,
+        )
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print("scenario service stopped")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    selection = bool(args.tags or args.names)
+    if not selection and not args.shutdown:
+        print("no scenarios selected (use --tags/--names, or "
+              "--shutdown to stop the server)", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(
+            args.host, args.port, retries=args.retry, timeout=args.timeout
+        ) as client:
+            rc = 0
+            if selection:
+                rc = _submit_selection(client, args)
+            if args.shutdown:
+                client.shutdown()
+                print(f"sent shutdown to {args.host}:{args.port}")
+            return rc
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _submit_selection(client, args) -> int:
+    from repro.service.shard import parse_shard
+
+    entries = _selected(args)
+    specs = [e.spec for e in entries]
+    axes = _parse_sweep(args.sweep) or None
+    shard = list(parse_shard(args.shard)) if args.shard else None
+    results = client.submit(
+        specs,
+        sweep=axes,
+        shards=args.shards,
+        shard=shard,
+        progress=_progress_printer(args.quiet),
+    )
+    report = Report(results=results)
+    if not args.quiet:
+        print()
+    print(report.render())
+    done = client.last_done or {}
+    if done.get("cancelled"):
+        print("(job was cancelled before completing)")
+    if args.out:
+        path = report.save(args.out)
+        print(f"\nwrote {path}")
+    return 1 if report.failed or done.get("cancelled") else 0
 
 
 def cmd_report(args) -> int:
@@ -168,8 +313,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_list.set_defaults(fn=cmd_list)
 
+    def add_sweep(p):
+        p.add_argument(
+            "--sweep", action="append", metavar="PARAM=V1,V2,...",
+            help="fan each selected spec out over these param values "
+            "(repeatable; cross product across axes)",
+        )
+        p.add_argument(
+            "--shard", metavar="I/N",
+            help="keep only round-robin shard I of N over the "
+            "(expanded) spec list, e.g. --shard 0/4",
+        )
+
     p_run = sub.add_parser("run", help="execute selected scenarios")
     add_selection(p_run)
+    add_sweep(p_run)
     p_run.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (>1 enables the process backend)",
@@ -241,6 +399,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--quiet", action="store_true")
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the scenario service (specs in, streamed results out)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7341,
+        help="listen port (0 picks a free one; default 7341)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes behind the local backend",
+    )
+    p_serve.add_argument(
+        "--backend", choices=("auto", "serial", "process"), default="auto"
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout (s)"
+    )
+    p_serve.add_argument(
+        "--cache", default=".repro_cache",
+        help="result-cache directory (default .repro_cache)",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit scenarios to a running service and stream results",
+    )
+    add_selection(p_submit)
+    add_sweep(p_submit)
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7341)
+    p_submit.add_argument(
+        "--shards", type=int, default=None,
+        help="server-side shard fan-out: run the expansion as N "
+        "deterministic batches",
+    )
+    p_submit.add_argument(
+        "--stream", action="store_true", default=True,
+        help="stream results as they complete (always on: submit has "
+        "no batch mode; the flag exists so scripts can say what they "
+        "mean)",
+    )
+    p_submit.add_argument(
+        "--retry", type=int, default=0,
+        help="connection attempts beyond the first (0.2s apart), for "
+        "racing a freshly started server",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="socket timeout (s); default: wait indefinitely",
+    )
+    p_submit.add_argument(
+        "--shutdown", action="store_true",
+        help="send a shutdown to the server after the submission "
+        "(or alone, with no selection)",
+    )
+    p_submit.add_argument("--out", help="write the streamed report JSON here")
+    p_submit.add_argument("--quiet", action="store_true")
+    p_submit.set_defaults(fn=cmd_submit)
 
     p_report = sub.add_parser(
         "report", help="render a saved report JSON"

@@ -52,7 +52,9 @@ def run_spec(spec: ScenarioSpec, backend: str = "serial") -> ScenarioResult:
             )
         status, error = "ok", None
     except Exception:
-        payload, status, error = {}, "error", traceback.format_exc(limit=8)
+        # the full, untruncated traceback: failures streamed out of a
+        # worker (or a remote service) must be debuggable client-side
+        payload, status, error = {}, "error", traceback.format_exc()
     elapsed = time.perf_counter() - start
     return ScenarioResult(
         name=spec.name,
@@ -164,6 +166,7 @@ class ProcessBackend:
         pool = self._context().Pool(processes=self.workers)
         resubmit: List[ScenarioSpec] = []
         timed_out = False
+        aborted = False
         try:
             pending = [
                 (spec, pool.apply_async(_worker, (spec,))) for spec in specs
@@ -175,7 +178,10 @@ class ProcessBackend:
                     timed_out = True
                     result = _timeout_result(spec, self.timeout_s or 0.0)
                     resubmit = [s for s, _h in pending[index + 1:]]
-                except Exception:
+                except Exception as exc:
+                    # format_exception(exc) renders the whole chain —
+                    # including multiprocessing's RemoteTraceback cause,
+                    # i.e. the worker-side frames — verbatim
                     result = ScenarioResult(
                         name=spec.name,
                         spec_hash=spec.content_hash,
@@ -184,16 +190,23 @@ class ProcessBackend:
                         tags=tuple(sorted(spec.tags)),
                         status="error",
                         backend=self.name,
-                        error=traceback.format_exc(limit=4),
+                        error="".join(traceback.format_exception(exc)),
                     )
                 results.append(result)
                 if progress:
-                    progress(result)
+                    try:
+                        progress(result)
+                    except BaseException:
+                        # a raising progress callback is the caller's
+                        # abort signal (the service uses it to cancel):
+                        # don't let close()+join() run out the queue
+                        aborted = True
+                        raise
                 if timed_out:
                     break
         finally:
-            if timed_out:
-                pool.terminate()  # close()+join() would wait on hung jobs
+            if timed_out or aborted:
+                pool.terminate()  # close()+join() would wait on the queue
             else:
                 pool.close()
             pool.join()

@@ -15,21 +15,60 @@ established.
 from __future__ import annotations
 
 import importlib
+import re
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.spec import ScenarioSpec
 
-#: modules whose import registers scenarios (kept lazy to avoid cycles:
-#: domain modules import this module for the decorator).
-SCENARIO_MODULES = (
-    "repro.analysis.experiments",
-    "repro.analysis.ablations",
-    "repro.mapping.dse",
-)
-
 _REGISTRY: Dict[str, "Scenario"] = {}
 _LOADED = False
+_DISCOVERED: Optional[Tuple[str, ...]] = None
+
+#: source marker identifying a scenario-bearing module: a use of the
+#: ``@scenario`` decorator or a direct ``register(...)`` call, under
+#: their canonical names.  That naming is the discovery contract —
+#: aliasing the decorator (``import scenario as x``) hides a module
+#: from the scan; a false positive merely costs one harmless import.
+_SCENARIO_MARKER = re.compile(
+    r"^\s*@?(?:registry\.)?(?:scenario|register)\(", re.MULTILINE
+)
+
+
+def discover_scenario_modules() -> Tuple[str, ...]:
+    """Every ``repro.*`` module whose source applies ``@scenario``.
+
+    Replaces the old hand-maintained ``SCENARIO_MODULES`` tuple, where
+    a forgotten entry silently dropped scenarios from :func:`load_all`.
+    Discovery scans the package *source tree* rather than importing
+    every module (imports stay lazy and side-effect-free for modules
+    that register nothing).  Memoized per process; the scan itself is
+    a few milliseconds over the whole package.
+    """
+    global _DISCOVERED
+    if _DISCOVERED is not None:
+        return _DISCOVERED
+    package_root = Path(__file__).resolve().parents[1]  # src/repro
+    modules = []
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root)
+        if relative.name == "__main__.py":
+            continue
+        if relative.parts[0] == "engine":
+            continue  # the engine defines the machinery, never workloads
+        try:
+            # python sources are utf-8; the locale default is not
+            if not _SCENARIO_MARKER.search(path.read_text("utf-8")):
+                continue
+        except (OSError, UnicodeDecodeError):
+            continue
+        parts = ("repro",) + relative.with_suffix("").parts
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules.append(".".join(parts))
+    _DISCOVERED = tuple(modules)
+    return _DISCOVERED
 
 
 def natural_key(name: str):
@@ -121,11 +160,17 @@ def unregister(name: str) -> None:
 
 
 def load_all() -> None:
-    """Import every scenario-bearing module (idempotent)."""
+    """Import every scenario-bearing module (idempotent).
+
+    The module set is auto-discovered from the package sources
+    (:func:`discover_scenario_modules`), so adding a new
+    ``@scenario``-bearing file anywhere under ``src/repro/`` is enough
+    — no list to keep in sync.
+    """
     global _LOADED
     if _LOADED:
         return
-    for module in SCENARIO_MODULES:
+    for module in discover_scenario_modules():
         importlib.import_module(module)
     _LOADED = True
 

@@ -1,0 +1,162 @@
+"""Pluggable execution backends behind one ``Backend.run(specs)`` face.
+
+The service schedules every job through this interface, so where the
+work actually happens — this process's multiprocessing pool, a peer
+service on another machine, eventually a real job queue — is a
+deployment choice, not a protocol change.  :class:`LocalBackend` wraps
+the engine executor (and its on-disk result cache); a
+:class:`RemoteBackend` is the client side of another scenario service,
+which is what lets N machines drain one queue: point a server's
+backend at the next hop and the same ``submit`` flows through.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import execute
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+
+ProgressFn = Callable[[ScenarioResult], None]
+
+
+class Backend:
+    """Anything that can execute a batch of specs.
+
+    ``run`` returns results in *completion* order and invokes
+    ``progress`` once per result as it lands — the contract streaming
+    is built on.  Implementations must be safe to call from a worker
+    thread (the server runs them off the event loop).
+    """
+
+    name = "abstract"
+
+    def run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[ScenarioResult]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class LocalBackend(Backend):
+    """The engine executor (serial or process pool) plus its cache."""
+
+    name = "local"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        timeout_s: Optional[float] = None,
+        backend: str = "auto",
+        cache: Union[ResultCache, str, Path, None] = None,
+    ):
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.backend = backend
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache = cache
+
+    def run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[ScenarioResult]:
+        completed: List[ScenarioResult] = []
+
+        def observe(result: ScenarioResult) -> None:
+            completed.append(result)
+            if progress:
+                progress(result)
+
+        execute(
+            specs,
+            workers=self.workers,
+            timeout_s=self.timeout_s,
+            backend=self.backend,
+            cache=self.cache,
+            progress=observe,
+        )
+        return completed
+
+    def describe(self) -> str:
+        cache = self.cache.root if self.cache is not None else "off"
+        return (
+            f"local(workers={self.workers}, backend={self.backend}, "
+            f"cache={cache})"
+        )
+
+
+class RemoteBackend(Backend):
+    """Client side of a peer scenario service, as a :class:`Backend`.
+
+    A server constructed with this backend forwards every batch to the
+    peer and re-streams its results — the stub that turns one service
+    into a chainable hop.  Connection setup is deferred to each
+    ``run`` call so the backend object itself is cheap and picklable.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_retries: int = 25,
+        timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_retries = connect_retries
+        self.timeout = timeout
+
+    def run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        progress: Optional[ProgressFn] = None,
+    ) -> List[ScenarioResult]:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(
+            self.host,
+            self.port,
+            retries=self.connect_retries,
+            timeout=self.timeout,
+        ) as client:
+            return client.submit(specs, progress=progress)
+
+    def describe(self) -> str:
+        return f"remote({self.host}:{self.port})"
+
+
+def make_service_backend(
+    kind: str = "local",
+    *,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    executor: str = "auto",
+    cache: Union[ResultCache, str, Path, None] = None,
+    remote_host: Optional[str] = None,
+    remote_port: Optional[int] = None,
+) -> Backend:
+    """Backend factory the ``repro serve`` CLI drives."""
+    if kind == "local":
+        return LocalBackend(
+            workers=workers,
+            timeout_s=timeout_s,
+            backend=executor,
+            cache=cache,
+        )
+    if kind == "remote":
+        if not remote_host or remote_port is None:
+            raise ValueError("remote backend needs remote_host/remote_port")
+        return RemoteBackend(remote_host, remote_port, timeout=timeout_s)
+    raise ValueError(f"unknown service backend {kind!r}")

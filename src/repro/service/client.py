@@ -1,0 +1,230 @@
+"""Blocking client for the scenario service (CLI, tests, RemoteBackend).
+
+Deliberately synchronous: the consumers — ``repro submit``, a
+:class:`~repro.service.backend.RemoteBackend` running inside a server's
+worker thread, CI smoke scripts — all want a plain iterator of results,
+not an event loop.  Framing is shared with the server via
+:mod:`repro.service.protocol`, including the max-frame guard on reads.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+from repro.service import protocol
+from repro.service.protocol import FrameDecoder, ProtocolError
+
+
+class ServiceError(Exception):
+    """A structured ``error`` frame (or transport failure) from the service."""
+
+    def __init__(self, code: str, message: str,
+                 detail: Optional[Any] = None):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.detail = detail
+
+
+class ServiceClient:
+    """One connection speaking the JSON-lines protocol."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        retry_delay_s: float = 0.2,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._decoder = FrameDecoder()
+        self._sock: Optional[socket.socket] = None
+        self.last_done: Optional[Dict[str, Any]] = None
+        self.last_job: Optional[str] = None
+        self._connect(retries, retry_delay_s)
+
+    def _connect(self, retries: int, delay_s: float) -> None:
+        last_error: Optional[OSError] = None
+        attempts = max(1, retries + 1)
+        for attempt in range(attempts):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                return
+            except OSError as exc:
+                last_error = exc
+                if attempt + 1 < attempts:
+                    time.sleep(delay_s)
+        raise ServiceError(
+            "connect-failed",
+            f"cannot reach {self.host}:{self.port}: {last_error}",
+        )
+
+    # -- transport ----------------------------------------------------------
+
+    def send(self, message: Mapping[str, Any]) -> None:
+        try:
+            self._sock.sendall(protocol.encode_frame(message))
+        except OSError as exc:
+            raise ServiceError(
+                "connection-lost", f"send failed: {exc}"
+            ) from None
+
+    def recv(self) -> Dict[str, Any]:
+        """Next frame from the server (blocking).
+
+        Transport and framing failures surface as :class:`ServiceError`
+        so callers (the CLI in particular) have one exception to catch.
+        """
+        while True:
+            try:
+                message = self._decoder.next_frame()
+                if message is not None:
+                    return message
+                data = self._sock.recv(65536)
+                if not data:
+                    raise ServiceError(
+                        "connection-closed",
+                        "server closed the connection mid-stream",
+                    )
+                self._decoder.feed(data)
+            except ProtocolError as exc:
+                raise ServiceError(
+                    exc.code, f"undecodable reply from "
+                    f"{self.host}:{self.port}: {exc}",
+                ) from None
+            except socket.timeout:
+                raise ServiceError(
+                    "timeout",
+                    f"no frame from {self.host}:{self.port} within "
+                    f"{self.timeout}s",
+                ) from None
+            except OSError as exc:
+                raise ServiceError(
+                    "connection-lost", f"receive failed: {exc}"
+                ) from None
+
+    def _recv_checked(self) -> Dict[str, Any]:
+        message = self.recv()
+        if message.get("type") == "error":
+            raise ServiceError(
+                message.get("code", "error"),
+                message.get("message", "unspecified server error"),
+                detail=message.get("detail"),
+            )
+        return message
+
+    # -- requests -----------------------------------------------------------
+
+    def submit_iter(
+        self,
+        specs: Sequence[ScenarioSpec | Mapping[str, Any]],
+        *,
+        sweep: Optional[Mapping[str, Sequence[Any]]] = None,
+        shards: Optional[int] = None,
+        shard: Optional[Sequence[int]] = None,
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Iterator[ScenarioResult]:
+        """Submit and yield each streamed result as it arrives.
+
+        Raises :class:`ServiceError` on a structured rejection.  After
+        the iterator is exhausted, :attr:`last_done` holds the final
+        ``done`` frame (counts, cancelled flag).
+        """
+        payload = [
+            s.to_dict() if isinstance(s, ScenarioSpec) else dict(s)
+            for s in specs
+        ]
+        self.send(
+            protocol.make_submit(
+                payload, stream=True, sweep=sweep, shards=shards,
+                shard=shard, options=options,
+            )
+        )
+        ack = self._recv_checked()
+        if ack.get("type") != "ack":
+            raise ServiceError(
+                "protocol",
+                f"expected ack, got {ack.get('type')!r}",
+            )
+        self.last_job = ack.get("job")
+        self.last_done = None
+        while True:
+            message = self._recv_checked()
+            type_ = message.get("type")
+            if type_ == "result":
+                yield ScenarioResult.from_dict(message["result"])
+            elif type_ == "done":
+                self.last_done = message
+                return
+            elif type_ in ("ack", "pong"):
+                continue  # reply to an interleaved cancel/ping
+            else:
+                raise ServiceError(
+                    "protocol",
+                    f"unexpected frame {type_!r} in result stream",
+                )
+
+    def submit(
+        self,
+        specs: Sequence[ScenarioSpec | Mapping[str, Any]],
+        *,
+        sweep: Optional[Mapping[str, Sequence[Any]]] = None,
+        shards: Optional[int] = None,
+        shard: Optional[Sequence[int]] = None,
+        options: Optional[Mapping[str, Any]] = None,
+        progress: Optional[Callable[[ScenarioResult], None]] = None,
+    ) -> List[ScenarioResult]:
+        """Submit and collect the full streamed result list."""
+        results: List[ScenarioResult] = []
+        for result in self.submit_iter(
+            specs, sweep=sweep, shards=shards, shard=shard, options=options
+        ):
+            results.append(result)
+            if progress:
+                progress(result)
+        return results
+
+    def status(self, job: Optional[str] = None) -> Dict[str, Any]:
+        self.send(protocol.make_status(job))
+        return self._recv_checked().get("jobs", {})
+
+    def cancel(self, job: str) -> None:
+        self.send(protocol.make_cancel(job))
+        self._recv_checked()
+
+    def ping(self) -> bool:
+        self.send(protocol.make_ping())
+        return self._recv_checked().get("type") == "pong"
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (acknowledged with ``bye``)."""
+        self.send(protocol.make_shutdown())
+        try:
+            self._recv_checked()
+        except ServiceError as exc:
+            if exc.code != "connection-closed":
+                raise
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,330 @@
+"""Versioned JSON-lines wire protocol for the scenario service.
+
+One frame is one newline-terminated JSON object — the framing the
+related actor systems (message-broker SCADA, DSOC's own message-over-
+NoC transport) converge on: trivially debuggable with ``nc``, trivially
+streamable, and resynchronizable after a bad frame.  Every message
+carries the protocol version (``"v"``) and a ``"type"``; requests flow
+client → server (``submit``, ``status``, ``stream``, ``cancel``,
+``shutdown``, ``ping``) and responses flow back (``ack``, ``result``,
+``done``, ``status-reply``, ``error``, ``pong``, ``bye``).
+
+Everything here is pure bytes/dict transformation — no sockets — so
+the framing edge cases (partial frames, oversized payloads, garbage
+lines, unknown types) are unit-testable without a server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame; a result frame for the biggest sweep row
+#: set is ~1 MiB, so 8 MiB leaves generous headroom while still
+#: rejecting a runaway (or hostile) payload before it is buffered.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+REQUEST_TYPES = frozenset(
+    {"submit", "status", "stream", "cancel", "shutdown", "ping"}
+)
+RESPONSE_TYPES = frozenset(
+    {"ack", "result", "done", "status-reply", "error", "pong", "bye"}
+)
+
+
+class ProtocolError(Exception):
+    """A malformed frame or message.
+
+    ``fatal`` marks errors the connection cannot recover from (an
+    oversized frame may still be in flight, so the stream position is
+    lost); non-fatal errors consume exactly one line and the decoder
+    resynchronizes on the next newline.
+    """
+
+    def __init__(self, code: str, message: str, fatal: bool = False):
+        super().__init__(message)
+        self.code = code
+        self.fatal = fatal
+
+
+# -- frame codec ------------------------------------------------------------
+
+
+def encode_frame(message: Mapping[str, Any]) -> bytes:
+    """Serialize one message to a newline-terminated JSON frame."""
+    data = json.dumps(dict(message), separators=(",", ":"),
+                      default=str).encode()
+    if len(data) + 1 > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            "frame-too-large",
+            f"outgoing frame of {len(data)} bytes exceeds "
+            f"{MAX_FRAME_BYTES}",
+            fatal=True,
+        )
+    return data + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one frame line into a message dict (version-checked)."""
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("bad-json", f"undecodable frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad-frame",
+            f"frame must be a JSON object, got {type(message).__name__}",
+        )
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "version-mismatch",
+            f"protocol version {version!r} unsupported "
+            f"(speaking v{PROTOCOL_VERSION})",
+        )
+    if not isinstance(message.get("type"), str):
+        raise ProtocolError("bad-frame", "frame is missing a 'type' string")
+    return message
+
+
+class FrameDecoder:
+    """Incremental newline-frame decoder over an arbitrary byte stream.
+
+    Feed raw chunks with :meth:`feed`; pull complete messages with
+    :meth:`next_frame`, which returns ``None`` when no full line is
+    buffered yet.  A bad line raises :class:`ProtocolError` *after*
+    consuming that line, so the caller can report it and keep decoding.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        if (
+            len(self._buffer) > self.max_frame_bytes
+            and b"\n" not in self._buffer
+        ):
+            self._buffer.clear()
+            raise ProtocolError(
+                "frame-too-large",
+                f"frame exceeds {self.max_frame_bytes} bytes "
+                "without a terminator",
+                fatal=True,
+            )
+
+    def next_frame(self) -> Optional[Dict[str, Any]]:
+        newline = self._buffer.find(b"\n")
+        if newline < 0:
+            return None
+        line = bytes(self._buffer[:newline])
+        del self._buffer[: newline + 1]
+        if len(line) > self.max_frame_bytes:
+            raise ProtocolError(
+                "frame-too-large",
+                f"frame of {len(line)} bytes exceeds "
+                f"{self.max_frame_bytes}",
+                fatal=True,
+            )
+        if not line.strip():
+            return self.next_frame()  # tolerate blank keep-alive lines
+        return decode_frame(line)
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# -- message constructors ---------------------------------------------------
+
+
+def _message(type_: str, **fields: Any) -> Dict[str, Any]:
+    message = {"v": PROTOCOL_VERSION, "type": type_}
+    message.update({k: v for k, v in fields.items() if v is not None})
+    return message
+
+
+def make_submit(
+    specs: Sequence[Mapping[str, Any]],
+    *,
+    stream: bool = True,
+    sweep: Optional[Mapping[str, Sequence[Any]]] = None,
+    shards: Optional[int] = None,
+    shard: Optional[Sequence[int]] = None,
+    options: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A job submission: specs (+ optional sweep expansion / sharding).
+
+    ``sweep`` fans every spec out over the cross product of the given
+    param axes (server-side ``spec.with_params``); ``shards=N`` makes
+    the server run the expansion as N deterministic shard batches;
+    ``shard=(i, N)`` keeps only shard i of the expansion (the offline
+    ``--shard i/N`` semantics, applied server-side).
+    """
+    return _message(
+        "submit",
+        specs=[dict(s) for s in specs],
+        stream=bool(stream),
+        sweep={k: list(v) for k, v in sweep.items()} if sweep else None,
+        shards=shards,
+        shard=list(shard) if shard is not None else None,
+        options=dict(options) if options else None,
+    )
+
+
+def make_status(job: Optional[str] = None) -> Dict[str, Any]:
+    return _message("status", job=job)
+
+
+def make_stream(job: str) -> Dict[str, Any]:
+    return _message("stream", job=job)
+
+
+def make_cancel(job: str) -> Dict[str, Any]:
+    return _message("cancel", job=job)
+
+
+def make_shutdown() -> Dict[str, Any]:
+    return _message("shutdown")
+
+
+def make_ping() -> Dict[str, Any]:
+    return _message("ping")
+
+
+def make_ack(job: str, specs: int) -> Dict[str, Any]:
+    return _message("ack", job=job, specs=specs)
+
+
+def make_result(job: str, seq: int, result: Mapping[str, Any]) -> Dict[str, Any]:
+    return _message("result", job=job, seq=seq, result=dict(result))
+
+
+def make_done(
+    job: str,
+    *,
+    total: int,
+    executed: int,
+    cached: int,
+    failed: int,
+    cancelled: bool = False,
+) -> Dict[str, Any]:
+    return _message(
+        "done",
+        job=job,
+        total=total,
+        executed=executed,
+        cached=cached,
+        failed=failed,
+        cancelled=cancelled,
+    )
+
+
+def make_status_reply(jobs: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
+    return _message("status-reply", jobs={k: dict(v) for k, v in jobs.items()})
+
+
+def make_error(
+    code: str,
+    message: str,
+    *,
+    job: Optional[str] = None,
+    detail: Optional[Any] = None,
+) -> Dict[str, Any]:
+    return _message("error", code=code, message=message, job=job,
+                    detail=detail)
+
+
+def make_pong() -> Dict[str, Any]:
+    return _message("pong")
+
+
+def make_bye() -> Dict[str, Any]:
+    return _message("bye")
+
+
+# -- request validation -----------------------------------------------------
+
+
+def validate_request(message: Mapping[str, Any]) -> str:
+    """Check a decoded frame is a well-formed request; returns its type."""
+    type_ = message.get("type")
+    if type_ not in REQUEST_TYPES:
+        raise ProtocolError(
+            "unknown-type",
+            f"unknown request type {type_!r}; expected one of "
+            f"{sorted(REQUEST_TYPES)}",
+        )
+    if type_ == "submit":
+        specs = message.get("specs")
+        if not isinstance(specs, list) or not specs:
+            raise ProtocolError(
+                "bad-message", "submit needs a non-empty 'specs' list"
+            )
+        if not all(isinstance(s, dict) for s in specs):
+            raise ProtocolError(
+                "bad-message", "every submitted spec must be an object"
+            )
+        sweep = message.get("sweep")
+        if sweep is not None and (
+            not isinstance(sweep, dict)
+            or not all(isinstance(v, list) and v for v in sweep.values())
+        ):
+            raise ProtocolError(
+                "bad-message",
+                "'sweep' must map param names to non-empty value lists",
+            )
+        shards = message.get("shards")
+        if shards is not None and (
+            not isinstance(shards, int) or isinstance(shards, bool)
+            or shards < 1
+        ):
+            raise ProtocolError("bad-message", "'shards' must be a "
+                                "positive integer")
+        shard = message.get("shard")
+        if shard is not None and (
+            not isinstance(shard, list)
+            or len(shard) != 2
+            or not all(isinstance(x, int) and not isinstance(x, bool)
+                       for x in shard)
+        ):
+            raise ProtocolError("bad-message", "'shard' must be [index, "
+                                "total]")
+    elif type_ in ("stream", "cancel"):
+        if not isinstance(message.get("job"), str):
+            raise ProtocolError(
+                "bad-message", f"{type_} needs a 'job' id string"
+            )
+    elif type_ == "status":
+        job = message.get("job")
+        if job is not None and not isinstance(job, str):
+            raise ProtocolError(
+                "bad-message", "status 'job' must be a string when given"
+            )
+    return type_
+
+
+#: structured error codes the server emits (documented in
+#: docs/service.md; tests assert on them).
+ERROR_CODES = frozenset(
+    {
+        "bad-json",
+        "bad-frame",
+        "bad-message",
+        "bad-spec",
+        "unknown-scenario",
+        "unknown-type",
+        "unknown-job",
+        "version-mismatch",
+        "frame-too-large",
+        "server-error",
+        "shutting-down",
+    }
+)
+
+
+def result_list(messages: List[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Extract the result payloads from a streamed frame sequence."""
+    return [dict(m["result"]) for m in messages if m.get("type") == "result"]

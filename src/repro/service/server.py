@@ -1,0 +1,498 @@
+"""Asyncio scenario service: validate, schedule, stream.
+
+The server owns three concerns and nothing else:
+
+* **Validation** — every submitted spec dict is rebuilt as a
+  :class:`ScenarioSpec` and resolved against the registry *before*
+  anything is scheduled; a malformed submit earns a structured
+  ``error`` frame and the connection lives on.
+* **Scheduling** — jobs run on a pluggable :class:`Backend` in a
+  worker thread (the engine executor is blocking), one shard batch at
+  a time, with cancellation checked between results and between
+  shards.  The backend's result cache keeps replays at zero
+  executions, exactly as in ``repro run``.
+* **Streaming** — each :class:`ScenarioResult` is framed back the
+  moment it completes; a client can also re-attach to a running job
+  (``stream``) and gets a replay of what it missed, then the live
+  tail.
+
+The event loop never blocks on scenario work: frames keep being read
+while a job streams, which is what makes mid-flight ``cancel`` (and
+a second submission on the same connection) possible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.engine import registry
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+from repro.service import protocol, shard
+from repro.service.backend import Backend, LocalBackend
+from repro.service.protocol import FrameDecoder, ProtocolError
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7341
+
+
+class _JobCancelled(Exception):
+    """Raised inside the backend thread to abandon a cancelled job."""
+
+
+@dataclass
+class Job:
+    """One submitted batch: its specs, its shard plan, its results."""
+
+    id: str
+    specs: List[ScenarioSpec]
+    batches: List[List[ScenarioSpec]]
+    state: str = "running"          # running | done | cancelled | error
+    results: List[ScenarioResult] = field(default_factory=list)
+    cancelled: bool = False
+    error: Optional[str] = None
+    #: pulsed on every append/finish so streamers wake up.
+    updated: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.state != "running"
+
+    def counts(self) -> Dict[str, int]:
+        cached = sum(1 for r in self.results if r.cached)
+        failed = sum(1 for r in self.results if not r.ok)
+        return {
+            "total": len(self.specs),
+            "completed": len(self.results),
+            "executed": len(self.results) - cached,
+            "cached": cached,
+            "failed": failed,
+        }
+
+    def status(self) -> Dict[str, Any]:
+        return {"state": self.state, "shards": len(self.batches),
+                **self.counts()}
+
+
+class ScenarioServer:
+    """The TCP front-end; one instance per listening socket."""
+
+    #: finished jobs retained for late `stream`/`status` requests; the
+    #: oldest beyond this are evicted so a long-lived server's memory
+    #: is bounded by its *running* work, not its history.
+    MAX_FINISHED_JOBS = 64
+
+    def __init__(
+        self,
+        backend: Optional[Backend] = None,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ):
+        self.backend = backend if backend is not None else LocalBackend()
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.jobs: Dict[str, Job] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop = asyncio.Event()
+        self._job_counter = 0
+        self._tasks: set = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        registry.load_all()  # fail fast + workers inherit under fork
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_stopped(self) -> None:
+        await self._stop.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def serve(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self.wait_stopped()
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    # -- connection handling ------------------------------------------------
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def _handle_connection(self, reader, writer) -> None:
+        decoder = FrameDecoder(self.max_frame_bytes)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    return
+                try:
+                    decoder.feed(data)
+                except ProtocolError as exc:
+                    await self._send_error(writer, write_lock, exc)
+                    return  # oversized frames are unrecoverable
+                while True:
+                    try:
+                        message = decoder.next_frame()
+                    except ProtocolError as exc:
+                        await self._send_error(writer, write_lock, exc)
+                        if exc.fatal:
+                            return
+                        continue
+                    if message is None:
+                        break
+                    if await self._dispatch(message, writer, write_lock):
+                        return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer, lock: asyncio.Lock,
+                    message: Mapping[str, Any]) -> None:
+        frame = protocol.encode_frame(message)
+        async with lock:
+            writer.write(frame)
+            await writer.drain()
+
+    async def _send_error(self, writer, lock, exc: ProtocolError,
+                          job: Optional[str] = None) -> None:
+        try:
+            await self._send(
+                writer, lock, protocol.make_error(exc.code, str(exc),
+                                                  job=job)
+            )
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, message, writer, lock) -> bool:
+        """Handle one request; True means close this connection."""
+        try:
+            type_ = protocol.validate_request(message)
+        except ProtocolError as exc:
+            await self._send_error(writer, lock, exc)
+            return False
+        if type_ == "ping":
+            await self._send(writer, lock, protocol.make_pong())
+            return False
+        if type_ == "shutdown":
+            await self._send(writer, lock, protocol.make_bye())
+            self.request_stop()
+            return True
+        if type_ == "status":
+            wanted = message.get("job")
+            if wanted is not None and wanted not in self.jobs:
+                await self._send_error(
+                    writer, lock,
+                    ProtocolError("unknown-job", f"no job {wanted!r}"),
+                )
+                return False
+            jobs = {wanted: self.jobs[wanted]} if wanted else self.jobs
+            await self._send(
+                writer, lock,
+                protocol.make_status_reply(
+                    {job_id: job.status() for job_id, job in jobs.items()}
+                ),
+            )
+            return False
+        if type_ == "stream":
+            job = self.jobs.get(message["job"])
+            if job is None:
+                await self._send_error(
+                    writer, lock,
+                    ProtocolError("unknown-job",
+                                  f"no job {message['job']!r}"),
+                )
+                return False
+            self._spawn(self._stream_job(job, writer, lock))
+            return False
+        if type_ == "cancel":
+            job = self.jobs.get(message["job"])
+            if job is None:
+                await self._send_error(
+                    writer, lock,
+                    ProtocolError("unknown-job",
+                                  f"no job {message['job']!r}"),
+                )
+                return False
+            job.cancelled = True
+            await self._send(
+                writer, lock, protocol.make_ack(job.id, len(job.specs))
+            )
+            return False
+        # submit
+        if self._stop.is_set():
+            await self._send_error(
+                writer, lock,
+                ProtocolError("shutting-down", "server is shutting down"),
+            )
+            return False
+        await self._handle_submit(message, writer, lock)
+        return False
+
+    async def _handle_submit(self, message, writer, lock) -> None:
+        try:
+            specs = self._build_specs(message)
+        except ProtocolError as exc:
+            await self._send_error(writer, lock, exc)
+            return
+        shards = message.get("shards") or 1
+        batches = [b for b in shard.shard_batches(specs, shards) if b]
+        self._job_counter += 1
+        job = Job(id=f"job-{self._job_counter}", specs=specs,
+                  batches=batches)
+        self.jobs[job.id] = job
+        await self._send(
+            writer, lock, protocol.make_ack(job.id, len(specs))
+        )
+        self._spawn(self._run_job(job))
+        if message.get("stream", True):
+            self._spawn(self._stream_job(job, writer, lock))
+
+    def _build_specs(self, message) -> List[ScenarioSpec]:
+        """Validate spec dicts against the registry; expand sweep/shard."""
+        specs: List[ScenarioSpec] = []
+        for index, data in enumerate(message["specs"]):
+            try:
+                spec = ScenarioSpec.from_dict(data)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "bad-spec",
+                    f"spec #{index} is malformed: "
+                    f"{type(exc).__name__}: {exc}",
+                ) from None
+            try:
+                registry.get(spec.name)
+            except KeyError:
+                raise ProtocolError(
+                    "unknown-scenario",
+                    f"spec #{index} names unknown scenario "
+                    f"{spec.name!r}",
+                ) from None
+            specs.append(spec)
+        sweep = message.get("sweep")
+        if sweep:
+            try:
+                specs = shard.expand_specs(specs, sweep)
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError("bad-message",
+                                    f"bad sweep: {exc}") from None
+        picked = message.get("shard")
+        if picked is not None:
+            try:
+                specs = shard.shard_specs(specs, picked[0], picked[1])
+            except ValueError as exc:
+                raise ProtocolError("bad-message", str(exc)) from None
+        if not specs:
+            raise ProtocolError(
+                "bad-message", "selection expands to zero specs"
+            )
+        return specs
+
+    # -- job execution ------------------------------------------------------
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+
+        def on_result(result: ScenarioResult) -> None:
+            # runs in the backend thread: hand the result to the loop,
+            # then bail out mid-batch if the job was cancelled.
+            loop.call_soon_threadsafe(self._append_result, job, result)
+            if job.cancelled:
+                raise _JobCancelled
+
+        try:
+            for batch in job.batches:
+                if job.cancelled:
+                    break
+                await loop.run_in_executor(
+                    None, lambda b=batch: self.backend.run(b,
+                                                           progress=on_result)
+                )
+            job.state = "cancelled" if job.cancelled else "done"
+        except _JobCancelled:
+            job.state = "cancelled"
+        except asyncio.CancelledError:
+            job.state = "cancelled"
+            raise
+        except Exception:
+            job.state = "error"
+            job.error = traceback.format_exc()
+        finally:
+            job.updated.set()
+            self._prune_jobs()
+
+    def _prune_jobs(self) -> None:
+        finished = [j for j in self.jobs.values() if j.finished]
+        for job in finished[: max(0, len(finished)
+                                  - self.MAX_FINISHED_JOBS)]:
+            del self.jobs[job.id]
+
+    def _append_result(self, job: Job, result: ScenarioResult) -> None:
+        job.results.append(result)
+        job.updated.set()
+
+    # -- streaming ----------------------------------------------------------
+
+    async def _stream_job(self, job: Job, writer, lock) -> None:
+        sent = 0
+        try:
+            while True:
+                while sent < len(job.results):
+                    await self._send(
+                        writer,
+                        lock,
+                        protocol.make_result(
+                            job.id, sent, job.results[sent].to_dict()
+                        ),
+                    )
+                    sent += 1
+                if job.finished:
+                    break
+                job.updated.clear()
+                # re-check before sleeping: a result may have landed
+                # between the len() check and the clear() (same loop
+                # tick, so actually impossible — but cheap insurance
+                # against future refactors moving an await in between).
+                if sent == len(job.results) and not job.finished:
+                    await job.updated.wait()
+            if job.state == "error":
+                await self._send(
+                    writer,
+                    lock,
+                    protocol.make_error(
+                        "server-error",
+                        f"job {job.id} failed: {job.error}",
+                        job=job.id,
+                    ),
+                )
+                return
+            counts = job.counts()
+            await self._send(
+                writer,
+                lock,
+                protocol.make_done(
+                    job.id,
+                    total=counts["total"],
+                    executed=counts["executed"],
+                    cached=counts["cached"],
+                    failed=counts["failed"],
+                    cancelled=job.state == "cancelled",
+                ),
+            )
+        except ProtocolError as exc:
+            # an unencodable frame (e.g. a result bigger than the frame
+            # ceiling) must not kill the stream silently — the client
+            # would wait forever; the error frame itself is tiny
+            await self._send_error(writer, lock, exc, job=job.id)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # client went away mid-stream; the job keeps running and
+            # its results stay available to a later `stream` request.
+            pass
+
+
+# -- embedding helpers ------------------------------------------------------
+
+
+async def _serve(server: ScenarioServer, ready: Optional[Any] = None) -> None:
+    await server.start()
+    if ready is not None:
+        ready.set()
+    await server.wait_stopped()
+
+
+class BackgroundServer:
+    """Run a :class:`ScenarioServer` on a daemon thread (tests, CI).
+
+    Usage::
+
+        with BackgroundServer(LocalBackend()) as bg:
+            client = ServiceClient("127.0.0.1", bg.port)
+    """
+
+    def __init__(self, backend: Optional[Backend] = None,
+                 host: str = DEFAULT_HOST, port: int = 0):
+        self.server = ScenarioServer(backend, host=host, port=port)
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        class _Ready:
+            def __init__(self, event):
+                self.event = event
+
+            def set(self):
+                self.event.set()
+
+        try:
+            self._loop.run_until_complete(
+                _serve(self.server, _Ready(self._ready))
+            )
+        finally:
+            self._ready.set()  # unblock start() even on startup failure
+            try:
+                # let in-flight backend threads drain before the loop
+                # goes away (they post results via call_soon_threadsafe)
+                self._loop.run_until_complete(
+                    self._loop.shutdown_default_executor()
+                )
+            except RuntimeError:
+                pass
+            self._loop.close()
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError("scenario server failed to start in 10s")
+        if not self._thread.is_alive() and self.server._server is None:
+            raise RuntimeError("scenario server died during startup")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,127 @@
+"""Deterministic sweep expansion, sharding, and shard-result merging.
+
+A *sweep* fans one base :class:`ScenarioSpec` out over the cross
+product of parameter axes via ``spec.with_params`` — each expanded
+spec is an ordinary engine job with its own content hash, so caching,
+seeding and determinism all come for free.  A *shard* is the
+round-robin subset ``specs[index::total]`` of an expansion: shards are
+disjoint, cover the expansion exactly, and depend only on the
+expansion order (which is itself deterministic), so N machines — or N
+sequential batches on one machine — can each take ``i/N`` and the
+merged results are identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.results import Report, ScenarioResult
+from repro.engine.spec import ScenarioSpec
+
+
+def expand_sweep(
+    spec: ScenarioSpec, axes: Mapping[str, Sequence[Any]]
+) -> List[ScenarioSpec]:
+    """Fan ``spec`` out over the cross product of parameter axes.
+
+    Axes are iterated in sorted-name order and each axis in its given
+    value order, so the expansion order — and therefore any sharding
+    of it — is deterministic regardless of dict ordering.  With no
+    axes the spec itself is returned (a sweep of one).
+    """
+    if not axes:
+        return [spec]
+    names = sorted(axes)
+    for name in names:
+        if not isinstance(axes[name], (list, tuple)) or not len(axes[name]):
+            raise ValueError(
+                f"sweep axis {name!r} must be a non-empty sequence"
+            )
+    return [
+        spec.with_params(**dict(zip(names, values)))
+        for values in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+def expand_specs(
+    specs: Iterable[ScenarioSpec],
+    axes: Optional[Mapping[str, Sequence[Any]]] = None,
+) -> List[ScenarioSpec]:
+    """Expand every spec over the same sweep axes (order-preserving)."""
+    expanded: List[ScenarioSpec] = []
+    for spec in specs:
+        expanded.extend(expand_sweep(spec, axes or {}))
+    return expanded
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse the CLI ``i/N`` shard syntax (zero-based index)."""
+    try:
+        index_s, total_s = text.split("/", 1)
+        index, total = int(index_s), int(total_s)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like 'i/N' (e.g. 0/4), got {text!r}"
+        ) from None
+    _check_shard(index, total)
+    return index, total
+
+
+def _check_shard(index: int, total: int) -> None:
+    if total < 1:
+        raise ValueError(f"shard count must be >= 1, got {total}")
+    if not 0 <= index < total:
+        raise ValueError(
+            f"shard index must be in [0, {total}), got {index}"
+        )
+
+
+def shard_specs(
+    specs: Sequence[ScenarioSpec], index: int, total: int
+) -> List[ScenarioSpec]:
+    """Round-robin shard ``index`` of ``total`` (deterministic subset).
+
+    Round-robin (rather than contiguous blocks) balances sweeps whose
+    cost varies monotonically along an axis — the expensive tail of a
+    ``pe_counts`` axis lands one-per-shard instead of all in the last.
+    """
+    _check_shard(index, total)
+    return list(specs[index::total])
+
+
+def shard_batches(
+    specs: Sequence[ScenarioSpec], total: int
+) -> List[List[ScenarioSpec]]:
+    """All ``total`` shards of an expansion (some may be empty)."""
+    return [shard_specs(specs, i, total) for i in range(total)]
+
+
+def merge_results(
+    shard_results: Iterable[Iterable[ScenarioResult]],
+    order: Optional[Sequence[ScenarioSpec]] = None,
+    code_version: str = "",
+) -> Report:
+    """Merge per-shard result lists into one sweep :class:`Report`.
+
+    With ``order`` (the pre-shard expansion) the merged report lists
+    results in exactly the serial run's order; duplicate spec hashes
+    (a spec submitted to two shards) keep the first occurrence so the
+    merge is idempotent.
+    """
+    merged: List[ScenarioResult] = []
+    seen: Dict[str, int] = {}
+    for results in shard_results:
+        for result in results:
+            if result.spec_hash in seen:
+                continue
+            seen[result.spec_hash] = len(merged)
+            merged.append(result)
+    if order is not None:
+        rank = {}
+        for position, spec in enumerate(order):
+            rank.setdefault(spec.content_hash, position)
+        merged.sort(
+            key=lambda r: rank.get(r.spec_hash, len(rank))
+        )
+    return Report(results=merged, code_version=code_version)

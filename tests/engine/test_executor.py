@@ -137,6 +137,36 @@ class TestExecution:
         finally:
             unregister("_hang")
 
+    def test_error_carries_the_full_worker_traceback(self):
+        # a 13-deep chain of *distinct* functions: under the old
+        # format_exc(limit=8) the innermost frames — the ones that
+        # identify the bug — were cut off
+        source = "def f0():\n    raise RuntimeError('innermost marker')\n"
+        for i in range(1, 13):
+            source += f"def f{i}():\n    return f{i - 1}()\n"
+
+        @scenario("_deepfail")
+        def _deepfail():
+            namespace: dict = {}
+            exec(compile(source, "<deepfail>", "exec"), namespace)
+            return namespace["f12"]()
+
+        try:
+            for result in (
+                run_spec(ScenarioSpec("_deepfail")),
+                execute(
+                    [ScenarioSpec("_deepfail")], workers=1,
+                    backend="process",
+                ).results[0],
+            ):
+                assert result.status == "error"
+                assert "innermost marker" in result.error
+                # every intermediate frame survives, verbatim
+                for i in range(13):
+                    assert f"in f{i}" in result.error
+        finally:
+            unregister("_deepfail")
+
     def test_expected_false_excuses_negative_controls(self):
         from repro.engine.results import ScenarioResult
 
@@ -148,6 +178,34 @@ class TestExecution:
         )
         assert result.reproduced is True
         assert get("E14").expected_false == ("line_rate_without_mt",)
+
+    def test_raising_progress_aborts_the_pool_promptly(self):
+        """A progress-callback raise (the service's cancel signal) must
+        terminate the pool, not drain the queued jobs first."""
+        import time
+
+        @scenario("_abort_slow")
+        def _abort_slow(i=0):
+            time.sleep(30)
+            return {"rows": []}
+
+        class _Abort(Exception):
+            pass
+
+        def progress(_result):
+            raise _Abort
+
+        try:
+            specs = [get("E1").spec] + [
+                ScenarioSpec("_abort_slow", {"i": i}) for i in range(3)
+            ]
+            start = time.monotonic()
+            with pytest.raises(_Abort):
+                execute(specs, workers=1, backend="process",
+                        progress=progress)
+            assert time.monotonic() - start < 10  # not 3 x 30s
+        finally:
+            unregister("_abort_slow")
 
     def test_progress_callback_sees_every_result(self):
         seen = []
@@ -216,3 +274,29 @@ class TestCli:
         from repro.engine.cli import main
 
         assert main(["run", "--names", "E99", "--no-cache"]) == 2
+
+    def test_cli_sweep_and_shard(self, capsys):
+        from repro.engine.cli import main
+
+        @scenario("_cli_sweep", params={"n": 1})
+        def _cli_sweep(n=1):
+            return {"rows": [{"n": n}], "verdict": {"ok": True}}
+
+        try:
+            rc = main(
+                ["run", "--names", "_cli_sweep", "--no-cache", "--quiet",
+                 "--sweep", "n=1,2,3,4", "--shard", "1/2"]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "2 scenarios: 2 executed" in out  # n=2 and n=4
+        finally:
+            unregister("_cli_sweep")
+
+    def test_cli_bad_sweep_and_shard_are_usage_errors(self, capsys):
+        from repro.engine.cli import main
+
+        assert main(["run", "--names", "E1", "--no-cache",
+                     "--sweep", "broken"]) == 2
+        assert main(["run", "--names", "E1", "--no-cache",
+                     "--shard", "5/2"]) == 2

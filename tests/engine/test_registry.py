@@ -16,6 +16,47 @@ def temp_scenario():
     registry.unregister("_tmp_scn")
 
 
+class TestAutoDiscovery:
+    def test_every_scenario_bearing_module_is_discovered(self):
+        """A forgotten registry entry can no longer drop scenarios.
+
+        Scans src/repro for the decorator marker independently of the
+        registry's own scan: any module applying @scenario must be in
+        the discovered set, and importing the discovered set must
+        register at least one scenario per module.
+        """
+        import re
+        from pathlib import Path
+
+        import repro
+
+        discovered = set(registry.discover_scenario_modules())
+        package_root = Path(repro.__file__).parent
+        marker = re.compile(r"^\s*@(?:registry\.)?scenario\(", re.M)
+        for path in package_root.rglob("*.py"):
+            if not marker.search(path.read_text()):
+                continue
+            parts = ("repro",) + path.relative_to(
+                package_root
+            ).with_suffix("").parts
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            assert ".".join(parts) in discovered
+
+        modules_with_scenarios = {
+            s.module for s in registry.all_scenarios()
+        }
+        for module in discovered:
+            assert module in modules_with_scenarios, (
+                f"{module} applies @scenario but registered nothing"
+            )
+
+    def test_discovery_is_memoized(self):
+        assert registry.discover_scenario_modules() is (
+            registry.discover_scenario_modules()
+        )
+
+
 class TestDiscovery:
     def test_all_workloads_registered(self):
         names = {s.name for s in registry.all_scenarios()}

@@ -1,0 +1,1 @@
+"""Scenario-service tests: protocol framing, sharding, server, backends."""

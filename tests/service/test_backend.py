@@ -1,0 +1,79 @@
+"""Backend seam: LocalBackend wraps the executor+cache, RemoteBackend a peer."""
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import run_spec
+from repro.engine.registry import get
+from repro.service.backend import (
+    LocalBackend,
+    RemoteBackend,
+    make_service_backend,
+)
+from repro.service.server import BackgroundServer
+
+
+class TestLocalBackend:
+    def test_results_match_direct_execution(self):
+        specs = [get("E1").spec, get("E5").spec]
+        results = LocalBackend(backend="serial").run(specs)
+        assert [r.name for r in results] == ["E1", "E5"]
+        for spec, result in zip(specs, results):
+            assert (
+                result.comparable_payload()
+                == run_spec(spec).comparable_payload()
+            )
+
+    def test_progress_fires_per_result_in_completion_order(self):
+        seen = []
+        results = LocalBackend(backend="serial").run(
+            [get("E1").spec], progress=seen.append
+        )
+        assert seen == results
+
+    def test_cache_round_trip(self, tmp_path):
+        backend = LocalBackend(backend="serial", cache=tmp_path / "cache")
+        first = backend.run([get("E1").spec])
+        second = backend.run([get("E1").spec])
+        assert not first[0].cached and second[0].cached
+        assert (
+            first[0].comparable_payload() == second[0].comparable_payload()
+        )
+
+    def test_cache_accepts_a_prebuilt_instance(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert LocalBackend(cache=cache).cache is cache
+
+
+class TestFactory:
+    def test_local_kind(self, tmp_path):
+        backend = make_service_backend(
+            "local", workers=3, cache=tmp_path / "c"
+        )
+        assert isinstance(backend, LocalBackend) and backend.workers == 3
+
+    def test_remote_kind_needs_an_address(self):
+        with pytest.raises(ValueError, match="remote_host"):
+            make_service_backend("remote")
+        backend = make_service_backend(
+            "remote", remote_host="127.0.0.1", remote_port=7341
+        )
+        assert isinstance(backend, RemoteBackend)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown service backend"):
+            make_service_backend("mainframe")
+
+
+class TestRemoteBackend:
+    def test_remote_hop_matches_local_execution(self):
+        spec = get("E1").spec
+        with BackgroundServer(LocalBackend(backend="serial")) as peer:
+            remote = RemoteBackend(peer.host, peer.port, connect_retries=5)
+            seen = []
+            results = remote.run([spec], progress=seen.append)
+        assert len(results) == 1 and seen == results
+        assert (
+            results[0].comparable_payload()
+            == run_spec(spec).comparable_payload()
+        )

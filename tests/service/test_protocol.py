@@ -1,0 +1,182 @@
+"""Protocol framing edge cases — no sockets anywhere in this file."""
+
+import json
+
+import pytest
+
+from repro.service import protocol
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    validate_request,
+)
+
+
+def frame_bytes(**fields) -> bytes:
+    return (json.dumps({"v": PROTOCOL_VERSION, **fields}) + "\n").encode()
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            protocol.make_submit([{"name": "E1"}]),
+            protocol.make_submit(
+                [{"name": "DSE"}],
+                sweep={"seed": [1, 2]},
+                shards=4,
+                shard=(1, 4),
+                options={"note": "x"},
+            ),
+            protocol.make_status("job-1"),
+            protocol.make_stream("job-1"),
+            protocol.make_cancel("job-1"),
+            protocol.make_shutdown(),
+            protocol.make_ping(),
+            protocol.make_ack("job-1", 3),
+            protocol.make_result("job-1", 0, {"name": "E1", "rows": []}),
+            protocol.make_done(
+                "job-1", total=3, executed=2, cached=1, failed=0
+            ),
+            protocol.make_status_reply({"job-1": {"state": "done"}}),
+            protocol.make_error("bad-spec", "nope", job="job-1",
+                                detail={"index": 0}),
+            protocol.make_pong(),
+            protocol.make_bye(),
+        ],
+    )
+    def test_every_message_round_trips(self, message):
+        assert decode_frame(encode_frame(message).rstrip(b"\n")) == message
+
+    def test_frames_are_single_lines(self):
+        frame = encode_frame(protocol.make_submit([{"name": "E1"}]))
+        assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+
+    def test_version_mismatch_rejected(self):
+        line = json.dumps({"v": 99, "type": "ping"}).encode()
+        with pytest.raises(ProtocolError) as info:
+            decode_frame(line)
+        assert info.value.code == "version-mismatch"
+
+    def test_non_object_frame_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_frame(b"[1,2,3]")
+        assert info.value.code == "bad-frame"
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            decode_frame(json.dumps({"v": PROTOCOL_VERSION}).encode())
+        assert info.value.code == "bad-frame"
+
+    def test_oversized_outgoing_frame_rejected(self):
+        huge = {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)}
+        with pytest.raises(ProtocolError) as info:
+            encode_frame(protocol.make_result("j", 0, huge))
+        assert info.value.code == "frame-too-large" and info.value.fatal
+
+
+class TestFrameDecoder:
+    def test_partial_frame_held_until_newline(self):
+        decoder = FrameDecoder()
+        whole = frame_bytes(type="ping")
+        decoder.feed(whole[:5])
+        assert decoder.next_frame() is None
+        decoder.feed(whole[5:-1])
+        assert decoder.next_frame() is None  # still no terminator
+        decoder.feed(b"\n")
+        assert decoder.next_frame()["type"] == "ping"
+        assert decoder.next_frame() is None
+
+    def test_many_frames_in_one_chunk(self):
+        decoder = FrameDecoder()
+        decoder.feed(
+            frame_bytes(type="ping") + frame_bytes(type="status")
+            + frame_bytes(type="shutdown")
+        )
+        types = [decoder.next_frame()["type"] for _ in range(3)]
+        assert types == ["ping", "status", "shutdown"]
+        assert decoder.next_frame() is None
+
+    def test_byte_at_a_time_stream(self):
+        decoder = FrameDecoder()
+        seen = []
+        for byte in frame_bytes(type="ping") + frame_bytes(type="status"):
+            decoder.feed(bytes([byte]))
+            message = decoder.next_frame()
+            if message:
+                seen.append(message["type"])
+        assert seen == ["ping", "status"]
+
+    def test_blank_lines_are_tolerated(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"\n  \n" + frame_bytes(type="ping"))
+        assert decoder.next_frame()["type"] == "ping"
+
+    def test_oversized_unterminated_payload_is_fatal(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        with pytest.raises(ProtocolError) as info:
+            decoder.feed(b"x" * 65)
+        assert info.value.code == "frame-too-large" and info.value.fatal
+
+    def test_oversized_terminated_line_is_fatal(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        decoder.feed(b"x" * 30)
+        decoder.feed(b"y" * 40 + b"\n")
+        with pytest.raises(ProtocolError) as info:
+            decoder.next_frame()
+        assert info.value.code == "frame-too-large" and info.value.fatal
+
+    def test_bad_json_consumes_one_line_and_recovers(self):
+        decoder = FrameDecoder()
+        decoder.feed(b"{not json}\n" + frame_bytes(type="ping"))
+        with pytest.raises(ProtocolError) as info:
+            decoder.next_frame()
+        assert info.value.code == "bad-json" and not info.value.fatal
+        assert decoder.next_frame()["type"] == "ping"
+
+
+class TestRequestValidation:
+    def test_known_requests_pass(self):
+        assert validate_request(protocol.make_ping()) == "ping"
+        assert validate_request(
+            protocol.make_submit([{"name": "E1"}])
+        ) == "submit"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"v": PROTOCOL_VERSION, "type": "frobnicate"})
+        assert info.value.code == "unknown-type"
+
+    def test_responses_are_not_requests(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request(protocol.make_pong())
+        assert info.value.code == "unknown-type"
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"specs": []},
+            {"specs": "E1"},
+            {"specs": ["E1"]},
+            {"sweep": {"seed": []}},
+            {"sweep": [1, 2]},
+            {"shards": 0},
+            {"shards": True},
+            {"shard": [1]},
+            {"shard": "0/4"},
+        ],
+    )
+    def test_malformed_submit_fields_rejected(self, mutation):
+        message = protocol.make_submit([{"name": "E1"}])
+        message.update(mutation)
+        with pytest.raises(ProtocolError) as info:
+            validate_request(message)
+        assert info.value.code == "bad-message"
+
+    def test_stream_and_cancel_need_a_job_id(self):
+        for type_ in ("stream", "cancel"):
+            with pytest.raises(ProtocolError):
+                validate_request({"v": PROTOCOL_VERSION, "type": type_})
