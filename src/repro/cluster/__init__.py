@@ -1,0 +1,18 @@
+"""Cluster scheduling: one coordinator, many stateless workers.
+
+The coordinator (:mod:`repro.cluster.coordinator`) is a scenario
+service whose backend executes nothing locally: every submitted spec
+goes into a work-stealing queue (:mod:`repro.cluster.queue`) and is
+leased, one spec at a time, to registered workers
+(:mod:`repro.cluster.worker`), each of which wraps an ordinary
+:class:`~repro.service.backend.LocalBackend`.  A durable job journal
+(:mod:`repro.cluster.journal`) makes ``repro coordinator --resume``
+replay state after a crash without re-executing completed specs.
+
+See ``docs/cluster.md`` for topology, frame and failure semantics.
+"""
+
+from repro.cluster.journal import JobJournal, JournalState
+from repro.cluster.queue import WorkStealingQueue
+
+__all__ = ["JobJournal", "JournalState", "WorkStealingQueue"]

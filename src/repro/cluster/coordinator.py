@@ -1,0 +1,465 @@
+"""The cluster coordinator: a scenario service whose backend is a pool.
+
+One :class:`ClusterCoordinator` listens on one port and speaks the
+ordinary service protocol to clients (``submit``/``status``/``stream``/
+``cancel``/``shutdown``) *and* the worker protocol to
+``repro worker`` processes (``register``/``heartbeat``/
+``lease-result``) on the same listener.  Submitted jobs flow through
+the server machinery unchanged — validation, streaming, cancel,
+status — but execution happens in the :class:`ClusterPool`: every
+spec becomes one lease, granted spec-by-spec off a work-stealing
+queue, so a slow worker never strands the tail of a sweep.
+
+Failure model:
+
+* a worker connection drop (or missed heartbeats past the lease
+  timeout) requeues its in-flight leases at the *front* of the
+  backlog and returns its unstarted queue items to the backlog;
+* a coordinator crash is recovered by ``--resume``: the job journal
+  is replayed, finished jobs are restored for late ``status``/
+  ``stream`` requests, unfinished jobs re-enter the pool with only
+  their *pending* specs — journal-completed specs are never
+  re-executed (and the journal's lease trail proves it);
+* a stale lease result (from a worker that was evicted and later
+  answers anyway) is dropped; the requeued copy of that spec is the
+  one whose result counts.  Determinism makes the occasional double
+  execution harmless.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.cluster.journal import JobJournal, JournalState
+from repro.cluster.queue import WorkStealingQueue
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+from repro.service import protocol
+from repro.service.backend import PoolBackend
+from repro.service.protocol import ProtocolError
+from repro.service.server import DEFAULT_HOST, Job, ScenarioServer
+
+DEFAULT_PORT = 7452
+DEFAULT_LEASE_TIMEOUT_S = 30.0
+
+
+class WorkItem:
+    """One spec awaiting (or under) execution for one batch."""
+
+    __slots__ = ("spec", "job_id", "sink", "batch_id", "abandoned",
+                 "delivered")
+
+    def __init__(self, spec: ScenarioSpec, job_id: str, sink,
+                 batch_id: str):
+        self.spec = spec
+        self.job_id = job_id
+        self.sink = sink          # thread-safe queue.Queue of the batch
+        self.batch_id = batch_id
+        self.abandoned = False
+        self.delivered = False
+
+
+class WorkerHandle:
+    """Coordinator-side state for one registered worker connection."""
+
+    def __init__(self, worker_id: str, name: str, capacity: int,
+                 writer, lock: asyncio.Lock, now: float):
+        self.id = worker_id
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.writer = writer
+        self.lock = lock
+        self.last_seen = now
+        self.leases: Dict[str, WorkItem] = {}
+        self.connected = True
+        self.completed = 0
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "leases": len(self.leases),
+            "completed": self.completed,
+        }
+
+
+class ClusterPool:
+    """Work-stealing spec scheduler over registered workers.
+
+    Lives entirely on the coordinator's event loop; the only
+    cross-thread surfaces are :meth:`submit_batch` (scheduled via
+    ``run_coroutine_threadsafe`` by :class:`PoolBackend`),
+    :meth:`abandon_batch` (via ``call_soon_threadsafe``) and the
+    thread-safe sink queues results are delivered to.
+    """
+
+    def __init__(
+        self,
+        journal: Optional[JobJournal] = None,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+    ):
+        self.journal = journal
+        self.lease_timeout_s = lease_timeout_s
+        self.heartbeat_s = max(0.05, lease_timeout_s / 4.0)
+        self.queue = WorkStealingQueue()
+        self.workers: Dict[str, WorkerHandle] = {}
+        self._by_writer: Dict[int, str] = {}
+        self._batches: Dict[str, List[WorkItem]] = {}
+        self.closed = False
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._worker_counter = 0
+        self._lease_counter = 0
+        self._batch_counter = 0
+        self.total_completed = 0
+        self.total_requeued = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, loop: asyncio.AbstractEventLoop) -> None:
+        self.loop = loop
+        self._monitor_task = loop.create_task(self._monitor())
+
+    def shutdown(self) -> None:
+        """Stop scheduling; wake every blocked batch with an abort."""
+        if self.closed:
+            return
+        self.closed = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        for items in self._batches.values():
+            for item in items:
+                item.abandoned = True
+            if items:
+                items[0].sink.put(("abort", "coordinator stopped"))
+        self._batches.clear()
+        for worker in list(self.workers.values()):
+            worker.connected = False
+            try:
+                worker.writer.close()
+            except Exception:
+                pass
+
+    def describe(self) -> str:
+        return (
+            f"workers={len(self.workers)}, queued={self.queue.pending()}, "
+            f"lease_timeout={self.lease_timeout_s:g}s"
+        )
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "workers": {w.id: w.status() for w in self.workers.values()},
+            "queued": self.queue.pending(),
+            "inflight": sum(len(w.leases) for w in self.workers.values()),
+            "completed": self.total_completed,
+            "requeued": self.total_requeued,
+        }
+
+    # -- batches (PoolBackend face) ------------------------------------------
+
+    async def submit_batch(self, specs: List[ScenarioSpec], sink,
+                           label: Optional[str] = None) -> str:
+        """Queue every spec of one backend batch; returns the batch id."""
+        self._batch_counter += 1
+        batch_id = f"batch-{self._batch_counter}"
+        if self.closed:
+            sink.put(("abort", "coordinator stopped"))
+            return batch_id
+        items = [
+            WorkItem(spec, job_id=label or "", sink=sink,
+                     batch_id=batch_id)
+            for spec in specs
+        ]
+        self._batches[batch_id] = items
+        for item in items:
+            self.queue.push(item)
+        await self.dispatch_all()
+        return batch_id
+
+    def abandon_batch(self, batch_id: str) -> None:
+        """Drop a batch's undelivered items (cancel / client abandon)."""
+        for item in self._batches.pop(batch_id, ()):
+            item.abandoned = True
+
+    def _batch_done(self, item: WorkItem) -> None:
+        items = self._batches.get(item.batch_id)
+        if items is not None and all(i.delivered for i in items):
+            del self._batches[item.batch_id]
+
+    # -- workers -------------------------------------------------------------
+
+    def register(self, name: str, capacity: int, writer,
+                 lock: asyncio.Lock) -> WorkerHandle:
+        self._worker_counter += 1
+        worker = WorkerHandle(
+            f"w{self._worker_counter}", name, capacity, writer, lock,
+            now=self.loop.time(),
+        )
+        self.workers[worker.id] = worker
+        self._by_writer[id(writer)] = worker.id
+        self.queue.add_worker(worker.id)
+        return worker
+
+    def worker_for_writer(self, writer) -> Optional[WorkerHandle]:
+        worker_id = self._by_writer.get(id(writer))
+        return self.workers.get(worker_id) if worker_id else None
+
+    def heartbeat(self, worker: WorkerHandle) -> None:
+        # liveness is per worker, not per lease: one pulse renews every
+        # lease the worker holds (a long scenario just keeps pulsing)
+        worker.last_seen = self.loop.time()
+
+    def worker_lost(self, worker_id: str) -> None:
+        """Evict a worker; requeue its leases ahead of fresh work."""
+        worker = self.workers.pop(worker_id, None)
+        if worker is None:
+            return
+        worker.connected = False
+        self._by_writer.pop(id(worker.writer), None)
+        requeued = 0
+        for item in worker.leases.values():
+            if not item.abandoned and not item.delivered:
+                self.queue.push_front(item)
+                requeued += 1
+        worker.leases.clear()
+        self.queue.remove_worker(worker_id)
+        self.total_requeued += requeued
+        if not self.closed and (requeued or self.queue.pending()):
+            self.loop.create_task(self.dispatch_all())
+
+    async def complete(self, worker: WorkerHandle, lease_id: str,
+                       result_data: Mapping[str, Any]) -> None:
+        worker.last_seen = self.loop.time()
+        item = worker.leases.pop(lease_id, None)
+        if item is None:
+            return  # stale lease: already expired and requeued
+        if not item.abandoned and not item.delivered:
+            try:
+                result = ScenarioResult.from_dict(result_data)
+            except (KeyError, TypeError, ValueError):
+                # an undecodable result must not orphan the spec;
+                # requeue it WITHOUT re-granting this worker, or a
+                # deterministic decode failure would spin at network
+                # speed (heartbeats re-pump idle workers instead)
+                self.queue.push(item)
+                self.total_requeued += 1
+                raise
+            item.delivered = True
+            worker.completed += 1
+            self.total_completed += 1
+            item.sink.put(("result", result))
+            self._batch_done(item)
+        await self._grant(worker)
+
+    # -- scheduling ----------------------------------------------------------
+
+    async def dispatch_all(self) -> None:
+        for worker in list(self.workers.values()):
+            await self._grant(worker)
+
+    async def _grant(self, worker: WorkerHandle) -> None:
+        while (
+            not self.closed
+            and worker.connected
+            and worker.id in self.workers
+            and len(worker.leases) < worker.capacity
+        ):
+            item = self.queue.pop(worker.id)
+            if item is None:
+                return
+            if item.abandoned or item.delivered:
+                continue
+            self._lease_counter += 1
+            lease_id = f"lease-{self._lease_counter}"
+            worker.leases[lease_id] = item
+            if self.journal is not None:
+                self.journal.record_lease(
+                    item.job_id, item.spec.content_hash, worker.id
+                )
+            try:
+                frame = protocol.encode_frame(
+                    protocol.make_lease(lease_id, item.spec.to_dict())
+                )
+                async with worker.lock:
+                    worker.writer.write(frame)
+                    await worker.writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    ProtocolError):
+                self.worker_lost(worker.id)
+                return
+
+    async def _monitor(self) -> None:
+        """Expire leases of workers that stopped heartbeating."""
+        try:
+            while not self.closed:
+                await asyncio.sleep(self.heartbeat_s)
+                deadline = self.loop.time() - self.lease_timeout_s
+                stale = [
+                    w for w in self.workers.values()
+                    if w.last_seen < deadline
+                ]
+                for worker in stale:
+                    try:
+                        worker.writer.close()
+                    except Exception:
+                        pass
+                    self.worker_lost(worker.id)
+        except asyncio.CancelledError:
+            pass
+
+
+class ClusterCoordinator(ScenarioServer):
+    """A :class:`ScenarioServer` that executes through worker leases."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        auth_token: Optional[str] = None,
+        max_pending: Optional[int] = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ):
+        self.journal = (
+            JobJournal(journal_path) if journal_path else None
+        )
+        self.pool = ClusterPool(
+            journal=self.journal, lease_timeout_s=lease_timeout_s
+        )
+        super().__init__(
+            PoolBackend(self.pool),
+            host=host,
+            port=port,
+            max_frame_bytes=max_frame_bytes,
+            auth_token=auth_token,
+            max_pending=max_pending,
+        )
+        self._resume = resume
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        await super().start()
+        self.pool.start(asyncio.get_running_loop())
+        if self._resume and self.journal is not None:
+            self._restore(JobJournal.replay(self.journal.path))
+            self.journal.record_resume()
+
+    def _restore(self, state: JournalState) -> None:
+        """Rebuild journaled jobs; resume the unfinished ones."""
+        self._job_counter = max(self._job_counter,
+                                state.max_job_number())
+        for jj in state.jobs.values():
+            pending = [] if jj.finished else jj.pending_specs()
+            job = Job(
+                id=jj.id,
+                specs=list(jj.specs),
+                batches=[pending] if pending else [],
+                state=jj.state,
+                results=list(jj.results),
+            )
+            self.jobs[job.id] = job
+            if jj.finished:
+                job.updated.set()
+                continue
+            if not pending:
+                # everything completed before the crash; only the
+                # job-done record was lost
+                job.state = "done"
+                job.updated.set()
+                if self.journal is not None:
+                    self.journal.record_job_done(job.id, job.state)
+                continue
+            self._spawn(self._run_job(job))
+
+    def request_stop(self) -> None:
+        self.pool.shutdown()
+        super().request_stop()
+
+    # -- server hooks -------------------------------------------------------
+
+    def _job_batches(self, specs, shards):
+        # the pool leases spec-by-spec; shard batching would only
+        # serialize the fan-out, so a cluster job is always one batch
+        return [list(specs)]
+
+    def _job_created(self, job: Job) -> None:
+        if self.journal is not None:
+            self.journal.record_submit(job.id, job.specs)
+
+    def _append_result(self, job: Job, result: ScenarioResult) -> None:
+        if self.journal is not None:
+            self.journal.record_complete(job.id, result)
+        super()._append_result(job, result)
+
+    def _job_finished(self, job: Job) -> None:
+        # a pool shutdown mid-job is an interruption, not an outcome:
+        # leaving the journal without a job-done record is exactly what
+        # lets --resume pick the job back up
+        if self.journal is not None and not self.pool.closed:
+            self.journal.record_job_done(job.id, job.state)
+
+    def _connection_closed(self, writer) -> None:
+        worker = self.pool.worker_for_writer(writer)
+        if worker is not None:
+            self.pool.worker_lost(worker.id)
+
+    # -- worker frames ------------------------------------------------------
+
+    async def _handle_worker_frame(self, type_, message, writer,
+                                   lock) -> bool:
+        if type_ == "register":
+            worker = self.pool.register(
+                message["name"], message.get("capacity", 1), writer, lock
+            )
+            await self._send(
+                writer, lock,
+                protocol.make_registered(
+                    worker.id,
+                    heartbeat_s=self.pool.heartbeat_s,
+                    lease_timeout_s=self.pool.lease_timeout_s,
+                ),
+            )
+            await self.pool._grant(worker)
+            return False
+        worker = self.pool.worker_for_writer(writer)
+        if worker is None:
+            await self._send_error(
+                writer, lock,
+                ProtocolError(
+                    "unknown-worker",
+                    f"{type_!r} before a successful register on this "
+                    "connection",
+                ),
+            )
+            return False
+        if type_ == "heartbeat":
+            self.pool.heartbeat(worker)
+            # heartbeats double as a grant pump: an idle worker picks
+            # up anything requeued since its last completion
+            await self.pool._grant(worker)
+            return False
+        # lease-result
+        try:
+            await self.pool.complete(
+                worker, message["lease"], message["result"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            await self._send_error(
+                writer, lock,
+                ProtocolError(
+                    "bad-message",
+                    f"undecodable lease result: "
+                    f"{type(exc).__name__}: {exc}",
+                ),
+            )
+        return False
+
+    # -- status -------------------------------------------------------------
+
+    def cluster_status(self) -> Dict[str, Any]:
+        return self.pool.status()

@@ -1,0 +1,218 @@
+"""Append-only JSONL job journal: crash-durable coordinator state.
+
+Every state transition the coordinator must survive is one JSON line:
+
+``{"e": "submit", "job": .., "specs": [..]}``
+    a job was accepted, with its full (already sweep-expanded,
+    already shard-selected) spec list;
+``{"e": "lease", "job": .., "spec": <hash>, "worker": ..}``
+    a spec was leased to a worker (informational — requeue state is
+    derived from submit minus complete, but the lease trail is what
+    the crash-resume tests use to prove completed specs never run
+    again);
+``{"e": "complete", "job": .., "result": {..}}``
+    a :class:`ScenarioResult` landed;
+``{"e": "job-done", "job": .., "state": "done"|"cancelled"|"error"}``
+    the job finished;
+``{"e": "resume"}``
+    a coordinator restarted against this journal.
+
+:meth:`JobJournal.replay` folds the log back into per-job state: which
+specs each unfinished job still owes (its *pending* set) and the
+results already banked, in completion order.  A torn final line — the
+signature of a crash mid-write — is tolerated and dropped.  Writes are
+flushed per record so an abrupt coordinator death loses at most the
+record being written.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, TextIO
+
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+
+
+@dataclass
+class JournaledJob:
+    """One job's folded journal state.
+
+    Bookkeeping is by content-hash *multiplicity*, not bare hash
+    membership: a sweep may legitimately contain duplicate specs (e.g.
+    ``--sweep seed=1,1,2``), and a resume must owe exactly as many
+    executions per hash as were submitted minus completed — while a
+    replayed duplicate ``complete`` record for a single-copy spec
+    stays idempotent.  Counters keep the whole fold linear in journal
+    length.
+    """
+
+    id: str
+    specs: List[ScenarioSpec] = field(default_factory=list)
+    #: results in journaled completion order (stream replay order).
+    results: List[ScenarioResult] = field(default_factory=list)
+    state: str = "running"
+    _spec_counts: Counter = field(default_factory=Counter, repr=False)
+    _result_counts: Counter = field(default_factory=Counter, repr=False)
+
+    def __post_init__(self) -> None:
+        self._spec_counts = Counter(s.content_hash for s in self.specs)
+        self._result_counts = Counter(r.spec_hash for r in self.results)
+
+    @property
+    def finished(self) -> bool:
+        return self.state != "running"
+
+    def completed_hashes(self) -> set:
+        return set(self._result_counts)
+
+    def add_result(self, result: ScenarioResult) -> bool:
+        """Bank a completion (capped at the hash's submit multiplicity)."""
+        if (self._result_counts[result.spec_hash]
+                >= self._spec_counts[result.spec_hash]):
+            return False
+        self._result_counts[result.spec_hash] += 1
+        self.results.append(result)
+        return True
+
+    def pending_specs(self) -> List[ScenarioSpec]:
+        """Specs still owed, in submit order, respecting multiplicity."""
+        banked = Counter(self._result_counts)
+        pending: List[ScenarioSpec] = []
+        for spec in self.specs:
+            if banked[spec.content_hash] > 0:
+                banked[spec.content_hash] -= 1
+            else:
+                pending.append(spec)
+        return pending
+
+
+@dataclass
+class JournalState:
+    """Everything :meth:`JobJournal.replay` recovers from a log."""
+
+    jobs: Dict[str, JournaledJob] = field(default_factory=dict)
+    #: lease events as (job, spec_hash, worker) in log order.
+    leases: List[tuple] = field(default_factory=list)
+    resumes: int = 0
+    dropped_lines: int = 0
+
+    def unfinished(self) -> List[JournaledJob]:
+        return [j for j in self.jobs.values() if not j.finished]
+
+    def max_job_number(self) -> int:
+        """Highest ``job-N`` counter seen (0 when empty/unnumbered)."""
+        highest = 0
+        for job_id in self.jobs:
+            _prefix, _dash, tail = job_id.rpartition("-")
+            if tail.isdigit():
+                highest = max(highest, int(tail))
+        return highest
+
+
+class JobJournal:
+    """The writer half: one coordinator appending to one JSONL file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[TextIO] = None
+
+    def _write(self, event: Mapping[str, Any]) -> None:
+        if self._fh is None:
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(dict(event), separators=(",", ":"),
+                                  default=str) + "\n")
+        self._fh.flush()
+
+    # -- events -------------------------------------------------------------
+
+    def record_submit(self, job_id: str, specs: List[ScenarioSpec]) -> None:
+        self._write({
+            "e": "submit",
+            "job": job_id,
+            "specs": [s.to_dict() for s in specs],
+            "t": time.time(),
+        })
+
+    def record_lease(self, job_id: str, spec_hash: str,
+                     worker: str) -> None:
+        self._write({"e": "lease", "job": job_id, "spec": spec_hash,
+                     "worker": worker})
+
+    def record_complete(self, job_id: str, result: ScenarioResult) -> None:
+        self._write({"e": "complete", "job": job_id,
+                     "result": result.to_dict()})
+
+    def record_job_done(self, job_id: str, state: str) -> None:
+        self._write({"e": "job-done", "job": job_id, "state": state})
+
+    def record_resume(self) -> None:
+        self._write({"e": "resume", "t": time.time()})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- replay -------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, path: str | Path) -> JournalState:
+        """Fold a journal file back into coordinator state.
+
+        Unparseable lines are counted and skipped: the only expected
+        one is a torn final line from a crash mid-write, but a corrupt
+        middle line must not take the whole recovery down either.
+        Events for jobs with no ``submit`` record (lost to the same
+        torn write) are likewise dropped.
+        """
+        state = JournalState()
+        path = Path(path)
+        if not path.exists():
+            return state
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                    kind = event["e"]
+                except (ValueError, KeyError, TypeError):
+                    state.dropped_lines += 1
+                    continue
+                try:
+                    cls._fold(state, kind, event)
+                except (KeyError, TypeError, ValueError):
+                    state.dropped_lines += 1
+        return state
+
+    @staticmethod
+    def _fold(state: JournalState, kind: str,
+              event: Mapping[str, Any]) -> None:
+        if kind == "submit":
+            job_id = event["job"]
+            state.jobs[job_id] = JournaledJob(
+                id=job_id,
+                specs=[ScenarioSpec.from_dict(s) for s in event["specs"]],
+            )
+        elif kind == "lease":
+            state.leases.append(
+                (event["job"], event["spec"], event.get("worker", ""))
+            )
+        elif kind == "complete":
+            job = state.jobs.get(event["job"])
+            if job is not None:
+                job.add_result(ScenarioResult.from_dict(event["result"]))
+        elif kind == "job-done":
+            job = state.jobs.get(event["job"])
+            if job is not None:
+                job.state = event.get("state", "done")
+        elif kind == "resume":
+            state.resumes += 1
+        # unknown event kinds are ignored: forward compatibility

@@ -1,0 +1,289 @@
+"""The cluster worker: lease in, :class:`ScenarioResult` out.
+
+``repro worker --connect host:port`` runs one of these.  A worker is
+deliberately stateless: it registers with the coordinator, heartbeats
+on the interval the coordinator dictates, executes one leased spec at
+a time through an ordinary :class:`~repro.service.backend.LocalBackend`
+(so the on-disk result cache and deterministic seeding are exactly the
+``repro run`` ones), and streams each result back as a
+``lease-result`` frame.  Everything durable lives coordinator-side in
+the journal; killing a worker loses nothing but the leases it held,
+which the coordinator requeues.
+
+Execution is strictly serial per worker even when ``capacity > 1``
+(capacity only prefetches the next lease into the socket buffer):
+scenario seeding goes through the process-global RNGs, so in-process
+concurrency would break bit-reproducibility.  Scale-out is more
+workers, not threads.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+from typing import Optional
+
+from repro.engine.results import ScenarioResult
+from repro.engine.spec import ScenarioSpec
+from repro.service import protocol
+from repro.service.backend import Backend, LocalBackend
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import ProtocolError
+
+
+class WorkerError(Exception):
+    """The coordinator refused this worker (auth, protocol, version)."""
+
+
+class ClusterWorker:
+    """One registered worker: connect, lease, execute, report, repeat."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        name: Optional[str] = None,
+        capacity: int = 1,
+        backend: Optional[Backend] = None,
+        cache=None,
+        max_cache_entries: Optional[int] = None,
+        auth_token: Optional[str] = None,
+        connect_retries: int = 25,
+        retry_delay_s: float = 0.2,
+        reconnects: int = 5,
+        reconnect_delay_s: float = 1.0,
+        quiet: bool = True,
+    ):
+        self.host = host
+        self.port = port
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.capacity = max(1, capacity)
+        self.backend = backend if backend is not None else LocalBackend(
+            backend="serial", cache=cache,
+            max_cache_entries=max_cache_entries,
+        )
+        self.auth_token = auth_token
+        self.connect_retries = connect_retries
+        self.retry_delay_s = retry_delay_s
+        self.reconnects = reconnects
+        self.reconnect_delay_s = reconnect_delay_s
+        self.quiet = quiet
+        self.executed = 0
+        self.worker_id: Optional[str] = None
+        self._stop = threading.Event()
+        self._send_lock = threading.Lock()
+        self._client: Optional[ServiceClient] = None
+
+    # -- control ------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Exit by severing the connection — there is no goodbye frame;
+        the coordinator treats every disconnect the same way, requeueing
+        whatever this worker had leased."""
+        self._stop.set()
+        self._drop_connection()
+
+    #: alias: stopping *is* vanishing abruptly (the fault-injection
+    #: tests use this name as the in-process stand-in for SIGKILL).
+    kill = stop
+
+    def _drop_connection(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            client.close()
+
+    def _log(self, text: str) -> None:
+        if not self.quiet:
+            print(f"[worker {self.name}] {text}", flush=True)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve leases until stopped; returns specs executed.
+
+        Reconnects up to ``reconnects`` times after a lost coordinator
+        (the budget resets on every successful registration), then
+        returns.
+        """
+        budget = self.reconnects
+        while not self._stop.is_set():
+            try:
+                self._serve_one_connection()
+                budget = self.reconnects
+            except (ServiceError, OSError) as exc:
+                if self._stop.is_set():
+                    break
+                self._log(f"connection lost: {exc}")
+            finally:
+                self._drop_connection()
+            if self._stop.is_set() or budget <= 0:
+                break
+            budget -= 1
+            time.sleep(self.reconnect_delay_s)
+        return self.executed
+
+    def _serve_one_connection(self) -> None:
+        client = ServiceClient(
+            self.host,
+            self.port,
+            timeout=0.5,  # short poll so stop() is honored promptly
+            retries=self.connect_retries,
+            retry_delay_s=self.retry_delay_s,
+            auth_token=self.auth_token,
+        )
+        self._client = client
+        self._send(protocol.make_register(self.name, self.capacity))
+        registered = self._await_frame(client, "registered")
+        self.worker_id = registered.get("worker")
+        heartbeat_s = float(registered.get("heartbeat_s") or 5.0)
+        self._log(
+            f"registered as {self.worker_id} "
+            f"(heartbeat every {heartbeat_s:g}s)"
+        )
+        pulse = threading.Thread(
+            target=self._heartbeat_loop, args=(client, heartbeat_s),
+            daemon=True,
+        )
+        pulse.start()
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = client.recv()
+                except ServiceError as exc:
+                    if exc.code == "timeout":
+                        continue
+                    raise
+                type_ = frame.get("type")
+                if type_ == "lease":
+                    self._execute_lease(frame)
+                elif type_ in ("bye", "pong"):
+                    if type_ == "bye":
+                        return
+                elif type_ == "error":
+                    raise WorkerError(
+                        f"{frame.get('code')}: {frame.get('message')}"
+                    )
+        finally:
+            pulse.join(timeout=2.0)
+
+    def _await_frame(self, client: ServiceClient, wanted: str) -> dict:
+        while True:
+            try:
+                frame = client.recv()
+            except ServiceError as exc:
+                if exc.code == "timeout":
+                    if self._stop.is_set():
+                        raise
+                    continue
+                raise
+            if frame.get("type") == "error":
+                raise WorkerError(
+                    f"{frame.get('code')}: {frame.get('message')}"
+                )
+            if frame.get("type") == wanted:
+                return frame
+
+    def _heartbeat_loop(self, client: ServiceClient,
+                        heartbeat_s: float) -> None:
+        while not self._stop.is_set() and self._client is client:
+            time.sleep(heartbeat_s)
+            try:
+                self._send(protocol.make_heartbeat(self.worker_id))
+            except (ServiceError, OSError):
+                return  # main loop notices the dead socket on its own
+
+    def _send(self, message: dict) -> None:
+        client = self._client
+        if client is None:
+            raise ServiceError("connection-lost", "worker stopped")
+        with self._send_lock:
+            client.send(message)
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute_lease(self, frame: dict) -> None:
+        lease_id = frame["lease"]
+        try:
+            spec = ScenarioSpec.from_dict(frame["spec"])
+        except (KeyError, TypeError, ValueError):
+            self._log(f"undecodable lease {lease_id!r}; dropping")
+            return
+        try:
+            results = self.backend.run([spec])
+            result = results[0] if results else self._failure(
+                spec, "backend returned no result"
+            )
+        except Exception:
+            result = self._failure(spec, traceback.format_exc())
+        self.executed += 1
+        self._log(
+            f"{spec.name} -> {result.status} ({result.elapsed_s:.2f}s)"
+        )
+        try:
+            self._send(
+                protocol.make_lease_result(lease_id, result.to_dict())
+            )
+        except ProtocolError as exc:
+            # a result too large to frame must not kill the worker (the
+            # requeue would cascade the same poison spec through the
+            # whole fleet): report a slim error result instead
+            self._send(protocol.make_lease_result(
+                lease_id,
+                self._failure(
+                    spec,
+                    f"result dropped: {exc.code}: {exc}",
+                ).to_dict(),
+            ))
+
+    @staticmethod
+    def _failure(spec: ScenarioSpec, error: str) -> ScenarioResult:
+        return ScenarioResult(
+            name=spec.name,
+            spec_hash=spec.content_hash,
+            params=spec.params_dict(),
+            seed=spec.seed,
+            tags=tuple(sorted(spec.tags)),
+            status="error",
+            backend="worker",
+            error=error,
+        )
+
+
+class BackgroundWorker:
+    """Run a :class:`ClusterWorker` on a daemon thread (tests, CI).
+
+    ``kill()`` severs the connection without any farewell — the
+    in-process equivalent of SIGKILLing a worker mid-lease.
+    """
+
+    def __init__(self, host: str, port: int, **kwargs):
+        kwargs.setdefault("reconnects", 0)
+        self.worker = ClusterWorker(host, port, **kwargs)
+        self._thread = threading.Thread(target=self.worker.run,
+                                        daemon=True)
+
+    def start(self) -> "BackgroundWorker":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.worker.stop()
+        self._thread.join(timeout=10)
+
+    def kill(self) -> None:
+        self.worker.kill()
+        self._thread.join(timeout=10)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def __enter__(self) -> "BackgroundWorker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -100,3 +100,59 @@ class ResultCache:
                 path.unlink()
                 removed += 1
         return removed
+
+    def prune(self, max_entries: int) -> int:
+        """LRU-cap the store at ``max_entries`` files; returns removed.
+
+        Recency is file mtime — a replayed entry can be touched by the
+        reader to keep it warm, but by default recency == write time.
+        Pruning spans *all* code versions (stale versions are the
+        first thing a long campaign should shed) and removes emptied
+        version directories.  ``max_entries < 0`` is a no-op.
+        """
+        if max_entries < 0 or not self.root.is_dir():
+            return 0
+        entries = []
+        for path in self.root.rglob("*.json"):
+            try:
+                entries.append((path.stat().st_mtime, path))
+            except OSError:
+                continue  # raced with a concurrent prune/clear
+        entries.sort(key=lambda pair: pair[0], reverse=True)
+        removed = 0
+        for _mtime, path in entries[max_entries:]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        for directory in self.root.iterdir():
+            try:
+                if directory.is_dir() and not any(directory.iterdir()):
+                    directory.rmdir()
+            except OSError:
+                # racing a concurrent put/prune (ENOTEMPTY/ENOENT):
+                # losing the cleanup must not fail the prune
+                continue
+        return removed
+
+    def stats(self) -> dict:
+        """Entry/byte totals, split current-version vs stale."""
+        total = current = size = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                total += 1
+                if path.parent.name == self.code_version:
+                    current += 1
+        return {
+            "entries": total,
+            "current_version": current,
+            "stale": total - current,
+            "bytes": size,
+            "root": str(self.root),
+            "code_version": self.code_version,
+        }

@@ -15,6 +15,11 @@ Examples::
     repro submit --tags smoke --stream --out report.json
     repro submit --names DSE --sweep seed=1,2,3,4 --shards 4
     repro submit --shutdown
+    repro coordinator --port 7452 --journal .repro_cache/journal.jsonl
+    repro coordinator --resume --journal .repro_cache/journal.jsonl
+    repro worker --connect 127.0.0.1:7452 --cache .worker_cache
+    repro submit --port 7452 --attach job-1 --out resumed.json
+    repro cache --prune --max-entries 500
 
 (``repro`` is the installed console script; ``PYTHONPATH=src python -m
 repro`` is the equivalent from a bare checkout.)
@@ -24,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -180,11 +186,36 @@ def cmd_bench(args) -> int:
     )
 
 
-def cmd_serve(args) -> int:
+def _auth_token(args) -> Optional[str]:
+    """--auth-token beats REPRO_AUTH_TOKEN beats an open listener."""
+    return args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+
+
+def _run_listener(server, what: str, describe: str) -> int:
     import asyncio
 
-    from repro.service.backend import make_service_backend
     from repro.service.protocol import PROTOCOL_VERSION
+
+    async def _serve() -> None:
+        await server.start()
+        guarded = "token-guarded" if server.auth_token else "open"
+        print(
+            f"{what} on {server.host}:{server.port} "
+            f"(protocol v{PROTOCOL_VERSION}, {guarded}, {describe})",
+            flush=True,
+        )
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print(f"{what} stopped")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service.backend import make_service_backend
     from repro.service.server import ScenarioServer
 
     backend = make_service_backend(
@@ -194,23 +225,103 @@ def cmd_serve(args) -> int:
         executor=args.backend,
         cache=None if args.no_cache else args.cache,
     )
-    server = ScenarioServer(backend, host=args.host, port=args.port)
+    server = ScenarioServer(
+        backend,
+        host=args.host,
+        port=args.port,
+        auth_token=_auth_token(args),
+        max_pending=args.max_pending,
+    )
+    return _run_listener(
+        server, "serving scenarios", f"backend {backend.describe()}"
+    )
 
-    async def _serve() -> None:
-        await server.start()
-        print(
-            f"serving scenarios on {server.host}:{server.port} "
-            f"(protocol v{PROTOCOL_VERSION}, "
-            f"backend {backend.describe()})",
-            flush=True,
-        )
-        await server.wait_stopped()
+
+def cmd_coordinator(args) -> int:
+    from repro.cluster.coordinator import ClusterCoordinator
+
+    server = ClusterCoordinator(
+        host=args.host,
+        port=args.port,
+        journal_path=None if args.no_journal else args.journal,
+        resume=args.resume,
+        lease_timeout_s=args.lease_timeout,
+        auth_token=_auth_token(args),
+        max_pending=args.max_pending,
+    )
+    journal = "journal off" if args.no_journal else f"journal {args.journal}"
+    return _run_listener(
+        server, "coordinating scenarios",
+        f"{journal}, lease timeout {args.lease_timeout:g}s",
+    )
+
+
+def cmd_worker(args) -> int:
+    from repro.cluster.worker import ClusterWorker, WorkerError
 
     try:
-        asyncio.run(_serve())
+        host, _colon, port_s = args.connect.rpartition(":")
+        port = int(port_s)
+        if not host:
+            raise ValueError
+    except ValueError:
+        print(f"error: --connect needs host:port, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    worker = ClusterWorker(
+        host,
+        port,
+        name=args.name,
+        capacity=args.capacity,
+        cache=None if args.no_cache else args.cache,
+        max_cache_entries=args.max_cache_entries,
+        auth_token=_auth_token(args),
+        connect_retries=args.retry,
+        reconnects=args.reconnects,
+        quiet=args.quiet,
+    )
+    print(
+        f"worker {worker.name} connecting to {host}:{port} "
+        f"(capacity {worker.capacity})",
+        flush=True,
+    )
+    try:
+        executed = worker.run()
     except KeyboardInterrupt:
-        pass
-    print("scenario service stopped")
+        worker.stop()
+        executed = worker.executed
+    except WorkerError as exc:
+        print(f"coordinator refused this worker: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker {worker.name} stopped after {executed} specs")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.engine.cache import ResultCache
+
+    cache = ResultCache(args.dir)
+    stats = cache.stats()
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {args.dir}")
+        return 0
+    if args.prune:
+        if args.max_entries is None:
+            print("error: --prune needs --max-entries N", file=sys.stderr)
+            return 2
+        removed = cache.prune(args.max_entries)
+        stats = cache.stats()
+        print(
+            f"pruned {removed} entries (LRU by mtime); "
+            f"{stats['entries']} remain in {args.dir}"
+        )
+        return 0
+    print(
+        f"{stats['entries']} entries ({stats['bytes']} bytes) in "
+        f"{stats['root']}: {stats['current_version']} under current "
+        f"code version {stats['code_version']}, {stats['stale']} stale"
+    )
     return 0
 
 
@@ -218,17 +329,21 @@ def cmd_submit(args) -> int:
     from repro.service.client import ServiceClient, ServiceError
 
     selection = bool(args.tags or args.names)
-    if not selection and not args.shutdown:
-        print("no scenarios selected (use --tags/--names, or "
-              "--shutdown to stop the server)", file=sys.stderr)
+    if not selection and not args.shutdown and not args.attach:
+        print("no scenarios selected (use --tags/--names, --attach JOB "
+              "to re-stream a job, or --shutdown to stop the server)",
+              file=sys.stderr)
         return 2
     try:
         with ServiceClient(
-            args.host, args.port, retries=args.retry, timeout=args.timeout
+            args.host, args.port, retries=args.retry,
+            timeout=args.timeout, auth_token=_auth_token(args),
         ) as client:
             rc = 0
             if selection:
                 rc = _submit_selection(client, args)
+            if args.attach:
+                rc = max(rc, _attach_job(client, args))
             if args.shutdown:
                 client.shutdown()
                 print(f"sent shutdown to {args.host}:{args.port}")
@@ -239,6 +354,24 @@ def cmd_submit(args) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _attach_job(client, args) -> int:
+    """Re-attach to a running/finished job and render its report."""
+    results = []
+    progress = _progress_printer(args.quiet)
+    for result in client.stream_job(args.attach):
+        results.append(result)
+        progress(result)
+    report = Report(results=results)
+    if not args.quiet:
+        print()
+    print(report.render())
+    if args.out:
+        path = report.save(args.out)
+        print(f"\nwrote {path}")
+    done = client.last_done or {}
+    return 1 if report.failed or done.get("cancelled") else 0
 
 
 def _submit_selection(client, args) -> int:
@@ -400,6 +533,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quiet", action="store_true")
     p_bench.set_defaults(fn=cmd_bench)
 
+    def add_listener_hardening(p):
+        p.add_argument(
+            "--auth-token", default=None,
+            help="shared-secret listener auth (falls back to the "
+            "REPRO_AUTH_TOKEN env var); unauthenticated frames get a "
+            "structured 'unauthorized' error",
+        )
+        p.add_argument(
+            "--max-pending", type=int, default=None,
+            help="backpressure: cap on accepted-but-incomplete specs; "
+            "over-limit submits get a structured 'busy' rejection",
+        )
+
     p_serve = sub.add_parser(
         "serve",
         help="run the scenario service (specs in, streamed results out)",
@@ -426,7 +572,104 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--no-cache", action="store_true", help="bypass the result cache"
     )
+    add_listener_hardening(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_coord = sub.add_parser(
+        "coordinator",
+        help="run the cluster coordinator (clients submit, workers lease)",
+    )
+    p_coord.add_argument("--host", default="127.0.0.1")
+    p_coord.add_argument(
+        "--port", type=int, default=7452,
+        help="listen port (0 picks a free one; default 7452)",
+    )
+    p_coord.add_argument(
+        "--journal", default=".repro_cache/coordinator_journal.jsonl",
+        help="append-only JSONL job journal "
+        "(default .repro_cache/coordinator_journal.jsonl)",
+    )
+    p_coord.add_argument(
+        "--no-journal", action="store_true",
+        help="run without durability (crash loses in-flight jobs)",
+    )
+    p_coord.add_argument(
+        "--resume", action="store_true",
+        help="replay the journal on startup and finish half-done jobs "
+        "without re-executing completed specs",
+    )
+    p_coord.add_argument(
+        "--lease-timeout", type=float, default=30.0,
+        help="seconds without a heartbeat before a worker's leases are "
+        "requeued (default 30)",
+    )
+    add_listener_hardening(p_coord)
+    p_coord.set_defaults(fn=cmd_coordinator)
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="run a cluster worker against a coordinator",
+    )
+    p_worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator to register with",
+    )
+    p_worker.add_argument(
+        "--name", default=None,
+        help="worker name for logs/journal (default hostname-pid)",
+    )
+    p_worker.add_argument(
+        "--capacity", type=int, default=1,
+        help="outstanding leases to prefetch (execution stays serial)",
+    )
+    p_worker.add_argument(
+        "--cache", default=".repro_cache",
+        help="this worker's result-cache directory",
+    )
+    p_worker.add_argument(
+        "--no-cache", action="store_true", help="bypass the result cache"
+    )
+    p_worker.add_argument(
+        "--max-cache-entries", type=int, default=None,
+        help="LRU-cap the worker's result cache after every batch",
+    )
+    p_worker.add_argument(
+        "--auth-token", default=None,
+        help="shared secret for a guarded coordinator "
+        "(falls back to REPRO_AUTH_TOKEN)",
+    )
+    p_worker.add_argument(
+        "--retry", type=int, default=25,
+        help="connection attempts beyond the first (0.2s apart)",
+    )
+    p_worker.add_argument(
+        "--reconnects", type=int, default=5,
+        help="reconnect attempts after losing the coordinator",
+    )
+    p_worker.add_argument("--quiet", action="store_true")
+    p_worker.set_defaults(fn=cmd_worker)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or prune the on-disk result cache",
+    )
+    p_cache.add_argument(
+        "--dir", default=".repro_cache",
+        help="cache directory (default .repro_cache)",
+    )
+    p_cache.add_argument(
+        "--prune", action="store_true",
+        help="apply the --max-entries LRU cap (by file mtime)",
+    )
+    p_cache.add_argument(
+        "--max-entries", type=int, default=None,
+        help="entries to keep when pruning",
+    )
+    p_cache.add_argument(
+        "--clear", action="store_true",
+        help="drop every entry across all code versions",
+    )
+    p_cache.set_defaults(fn=cmd_cache)
 
     p_submit = sub.add_parser(
         "submit",
@@ -460,6 +703,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help="send a shutdown to the server after the submission "
         "(or alone, with no selection)",
+    )
+    p_submit.add_argument(
+        "--attach", metavar="JOB", default=None,
+        help="re-attach to an existing job id (e.g. after a "
+        "coordinator --resume) and stream its merged results",
+    )
+    p_submit.add_argument(
+        "--auth-token", default=None,
+        help="shared secret for a guarded listener "
+        "(falls back to REPRO_AUTH_TOKEN)",
     )
     p_submit.add_argument("--out", help="write the streamed report JSON here")
     p_submit.add_argument("--quiet", action="store_true")

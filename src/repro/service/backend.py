@@ -29,7 +29,9 @@ class Backend:
     ``run`` returns results in *completion* order and invokes
     ``progress`` once per result as it lands — the contract streaming
     is built on.  Implementations must be safe to call from a worker
-    thread (the server runs them off the event loop).
+    thread (the server runs them off the event loop).  ``label`` is
+    the submitting job's id (or None); backends that journal or
+    attribute work use it, the rest ignore it.
     """
 
     name = "abstract"
@@ -38,6 +40,8 @@ class Backend:
         self,
         specs: Sequence[ScenarioSpec],
         progress: Optional[ProgressFn] = None,
+        *,
+        label: Optional[str] = None,
     ) -> List[ScenarioResult]:
         raise NotImplementedError
 
@@ -56,6 +60,7 @@ class LocalBackend(Backend):
         timeout_s: Optional[float] = None,
         backend: str = "auto",
         cache: Union[ResultCache, str, Path, None] = None,
+        max_cache_entries: Optional[int] = None,
     ):
         self.workers = workers
         self.timeout_s = timeout_s
@@ -63,11 +68,16 @@ class LocalBackend(Backend):
         if isinstance(cache, (str, Path)):
             cache = ResultCache(cache)
         self.cache = cache
+        #: LRU cap applied (by mtime) after every batch, so long sweep
+        #: campaigns can't grow the on-disk cache without bound.
+        self.max_cache_entries = max_cache_entries
 
     def run(
         self,
         specs: Sequence[ScenarioSpec],
         progress: Optional[ProgressFn] = None,
+        *,
+        label: Optional[str] = None,
     ) -> List[ScenarioResult]:
         completed: List[ScenarioResult] = []
 
@@ -84,6 +94,8 @@ class LocalBackend(Backend):
             cache=self.cache,
             progress=observe,
         )
+        if self.cache is not None and self.max_cache_entries is not None:
+            self.cache.prune(self.max_cache_entries)
         return completed
 
     def describe(self) -> str:
@@ -122,6 +134,8 @@ class RemoteBackend(Backend):
         self,
         specs: Sequence[ScenarioSpec],
         progress: Optional[ProgressFn] = None,
+        *,
+        label: Optional[str] = None,
     ) -> List[ScenarioResult]:
         from repro.service.client import ServiceClient
 
@@ -135,6 +149,75 @@ class RemoteBackend(Backend):
 
     def describe(self) -> str:
         return f"remote({self.host}:{self.port})"
+
+
+class PoolBackend(Backend):
+    """The cluster pool as a :class:`Backend`: execute nothing locally.
+
+    ``run`` hands every spec to the coordinator's
+    :class:`~repro.cluster.coordinator.ClusterPool` (on the event
+    loop) and blocks — it is already running on the server's executor
+    thread — draining results from a thread-safe sink queue as
+    registered workers complete leases.  A raising ``progress``
+    callback (the server's cancel path) or a pool shutdown abandons
+    the remaining specs.
+    """
+
+    name = "pool"
+
+    #: how long to wait for the loop to accept a batch before giving up.
+    SUBMIT_TIMEOUT_S = 30.0
+
+    def __init__(self, pool):
+        self.pool = pool
+
+    def run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        progress: Optional[ProgressFn] = None,
+        *,
+        label: Optional[str] = None,
+    ) -> List[ScenarioResult]:
+        import asyncio
+        import queue as stdlib_queue
+
+        specs = list(specs)
+        if not specs:
+            return []
+        sink: "stdlib_queue.Queue" = stdlib_queue.Queue()
+        handle = asyncio.run_coroutine_threadsafe(
+            self.pool.submit_batch(specs, sink, label=label),
+            self.pool.loop,
+        )
+        batch_id = handle.result(timeout=self.SUBMIT_TIMEOUT_S)
+        completed: List[ScenarioResult] = []
+        try:
+            while len(completed) < len(specs):
+                try:
+                    kind, payload = sink.get(timeout=1.0)
+                except stdlib_queue.Empty:
+                    if self.pool.closed:
+                        raise RuntimeError(
+                            "cluster pool stopped while the batch was "
+                            "in flight"
+                        ) from None
+                    continue
+                if kind == "abort":
+                    raise RuntimeError(
+                        f"cluster pool aborted the batch: {payload}"
+                    )
+                completed.append(payload)
+                if progress:
+                    progress(payload)
+        finally:
+            if len(completed) < len(specs):
+                self.pool.loop.call_soon_threadsafe(
+                    self.pool.abandon_batch, batch_id
+                )
+        return completed
+
+    def describe(self) -> str:
+        return f"pool({self.pool.describe()})"
 
 
 def make_service_backend(

@@ -9,6 +9,7 @@ not an event loop.  Framing is shared with the server via
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
@@ -32,6 +33,14 @@ class ServiceError(Exception):
 class ServiceClient:
     """One connection speaking the JSON-lines protocol."""
 
+    #: ``busy`` backoff: attempts beyond the first submit, base delay,
+    #: and the ceiling one sleep may reach.  Each delay is the
+    #: exponential base times a uniform jitter in [0.5, 1.0), so a
+    #: burst of rejected clients doesn't re-stampede in lockstep.
+    BUSY_RETRIES = 6
+    BUSY_BASE_DELAY_S = 0.1
+    BUSY_MAX_DELAY_S = 5.0
+
     def __init__(
         self,
         host: str,
@@ -40,10 +49,16 @@ class ServiceClient:
         timeout: Optional[float] = None,
         retries: int = 0,
         retry_delay_s: float = 0.2,
+        auth_token: Optional[str] = None,
+        busy_retries: Optional[int] = None,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.auth_token = auth_token
+        self.busy_retries = (
+            self.BUSY_RETRIES if busy_retries is None else busy_retries
+        )
         self._decoder = FrameDecoder()
         self._sock: Optional[socket.socket] = None
         self.last_done: Optional[Dict[str, Any]] = None
@@ -71,6 +86,7 @@ class ServiceClient:
     # -- transport ----------------------------------------------------------
 
     def send(self, message: Mapping[str, Any]) -> None:
+        message = protocol.attach_token(dict(message), self.auth_token)
         try:
             self._sock.sendall(protocol.encode_frame(message))
         except OSError as exc:
@@ -135,21 +151,33 @@ class ServiceClient:
     ) -> Iterator[ScenarioResult]:
         """Submit and yield each streamed result as it arrives.
 
-        Raises :class:`ServiceError` on a structured rejection.  After
-        the iterator is exhausted, :attr:`last_done` holds the final
-        ``done`` frame (counts, cancelled flag).
+        Raises :class:`ServiceError` on a structured rejection.  A
+        ``busy`` rejection (the listener's ``--max-pending`` cap) is
+        retried with jittered exponential backoff before giving up.
+        After the iterator is exhausted, :attr:`last_done` holds the
+        final ``done`` frame (counts, cancelled flag).
         """
         payload = [
             s.to_dict() if isinstance(s, ScenarioSpec) else dict(s)
             for s in specs
         ]
-        self.send(
-            protocol.make_submit(
-                payload, stream=True, sweep=sweep, shards=shards,
-                shard=shard, options=options,
-            )
+        submit = protocol.make_submit(
+            payload, stream=True, sweep=sweep, shards=shards,
+            shard=shard, options=options,
         )
-        ack = self._recv_checked()
+        for attempt in range(self.busy_retries + 1):
+            self.send(submit)
+            try:
+                ack = self._recv_checked()
+                break
+            except ServiceError as exc:
+                if exc.code != "busy" or attempt >= self.busy_retries:
+                    raise
+                delay = min(
+                    self.BUSY_MAX_DELAY_S,
+                    self.BUSY_BASE_DELAY_S * (2 ** attempt),
+                ) * (0.5 + random.random() / 2)
+                time.sleep(delay)
         if ack.get("type") != "ack":
             raise ServiceError(
                 "protocol",
@@ -192,6 +220,33 @@ class ServiceClient:
             if progress:
                 progress(result)
         return results
+
+    def stream_job(self, job: str) -> Iterator[ScenarioResult]:
+        """Re-attach to a job by id: replay what it has, follow the tail.
+
+        This is how a client collects a job that outlived its original
+        connection — a coordinator restarted with ``--resume`` keeps
+        the job id, so the same ``stream`` request drains the merged
+        (journal-replayed + freshly executed) result list.
+        """
+        self.send(protocol.make_stream(job))
+        self.last_job = job
+        self.last_done = None
+        while True:
+            message = self._recv_checked()
+            type_ = message.get("type")
+            if type_ == "result":
+                yield ScenarioResult.from_dict(message["result"])
+            elif type_ == "done":
+                self.last_done = message
+                return
+            elif type_ in ("ack", "pong"):
+                continue
+            else:
+                raise ServiceError(
+                    "protocol",
+                    f"unexpected frame {type_!r} in result stream",
+                )
 
     def status(self, job: Optional[str] = None) -> Dict[str, Any]:
         self.send(protocol.make_status(job))

@@ -9,13 +9,23 @@ client → server (``submit``, ``status``, ``stream``, ``cancel``,
 ``shutdown``, ``ping``) and responses flow back (``ack``, ``result``,
 ``done``, ``status-reply``, ``error``, ``pong``, ``bye``).
 
+Cluster workers speak the same framing in the other direction: a
+worker opens a connection to the coordinator and sends ``register``,
+``heartbeat`` and ``lease-result`` frames; the coordinator pushes
+``registered`` and ``lease`` frames back down the same connection.
+When a listener is started with a shared-secret auth token, every
+inbound request frame must carry a matching ``"token"`` field;
+:func:`check_token` is the (timing-safe) gate.
+
 Everything here is pure bytes/dict transformation — no sockets — so
 the framing edge cases (partial frames, oversized payloads, garbage
-lines, unknown types) are unit-testable without a server.
+lines, unknown types, missing tokens) are unit-testable without a
+server.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
@@ -29,8 +39,12 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 REQUEST_TYPES = frozenset(
     {"submit", "status", "stream", "cancel", "shutdown", "ping"}
 )
+#: frames a cluster worker sends its coordinator (same direction as
+#: client requests: inbound on the listener).
+WORKER_REQUEST_TYPES = frozenset({"register", "heartbeat", "lease-result"})
 RESPONSE_TYPES = frozenset(
-    {"ack", "result", "done", "status-reply", "error", "pong", "bye"}
+    {"ack", "result", "done", "status-reply", "error", "pong", "bye",
+     "registered", "lease"}
 )
 
 
@@ -245,17 +259,88 @@ def make_bye() -> Dict[str, Any]:
     return _message("bye")
 
 
+# -- cluster worker frames --------------------------------------------------
+
+
+def make_register(name: str, capacity: int = 1) -> Dict[str, Any]:
+    """A worker announcing itself to the coordinator.
+
+    ``capacity`` is the number of leases the worker wants outstanding
+    at once (execution itself stays serial per worker; capacity > 1
+    only prefetches the next spec while one runs).
+    """
+    return _message("register", name=name, capacity=int(capacity))
+
+
+def make_registered(
+    worker: str, heartbeat_s: float, lease_timeout_s: float
+) -> Dict[str, Any]:
+    """Coordinator's reply: the worker id and the liveness contract."""
+    return _message(
+        "registered",
+        worker=worker,
+        heartbeat_s=heartbeat_s,
+        lease_timeout_s=lease_timeout_s,
+    )
+
+
+def make_lease(lease: str, spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """One unit of leased work: a single spec, not an ``i/N`` shard."""
+    return _message("lease", lease=lease, spec=dict(spec))
+
+
+def make_lease_result(lease: str, result: Mapping[str, Any]) -> Dict[str, Any]:
+    return _message("lease-result", lease=lease, result=dict(result))
+
+
+def make_heartbeat(worker: Optional[str] = None) -> Dict[str, Any]:
+    """Worker liveness pulse; renews every lease the worker holds."""
+    return _message("heartbeat", worker=worker)
+
+
+# -- shared-secret auth -----------------------------------------------------
+
+
+def attach_token(message: Dict[str, Any],
+                 token: Optional[str]) -> Dict[str, Any]:
+    """Stamp an outgoing request with the shared secret (no-op if None)."""
+    if token:
+        message["token"] = token
+    return message
+
+
+def check_token(message: Mapping[str, Any], token: Optional[str]) -> None:
+    """Gate an inbound frame against the listener's shared secret.
+
+    Raises a non-fatal :class:`ProtocolError` (code ``unauthorized``)
+    when the listener requires a token and the frame's is missing or
+    wrong; the comparison is timing-safe.  With no listener token every
+    frame passes.
+    """
+    if token is None:
+        return
+    presented = message.get("token")
+    if not isinstance(presented, str) or not hmac.compare_digest(
+        presented.encode(), token.encode()
+    ):
+        raise ProtocolError(
+            "unauthorized",
+            "frame rejected: this listener requires a valid auth token "
+            "(--auth-token / REPRO_AUTH_TOKEN)",
+        )
+
+
 # -- request validation -----------------------------------------------------
 
 
 def validate_request(message: Mapping[str, Any]) -> str:
     """Check a decoded frame is a well-formed request; returns its type."""
     type_ = message.get("type")
-    if type_ not in REQUEST_TYPES:
+    if type_ not in REQUEST_TYPES and type_ not in WORKER_REQUEST_TYPES:
         raise ProtocolError(
             "unknown-type",
             f"unknown request type {type_!r}; expected one of "
-            f"{sorted(REQUEST_TYPES)}",
+            f"{sorted(REQUEST_TYPES | WORKER_REQUEST_TYPES)}",
         )
     if type_ == "submit":
         specs = message.get("specs")
@@ -303,6 +388,27 @@ def validate_request(message: Mapping[str, Any]) -> str:
             raise ProtocolError(
                 "bad-message", "status 'job' must be a string when given"
             )
+    elif type_ == "register":
+        if not isinstance(message.get("name"), str):
+            raise ProtocolError(
+                "bad-message", "register needs a worker 'name' string"
+            )
+        capacity = message.get("capacity", 1)
+        if (not isinstance(capacity, int) or isinstance(capacity, bool)
+                or capacity < 1):
+            raise ProtocolError(
+                "bad-message", "register 'capacity' must be a positive "
+                "integer"
+            )
+    elif type_ == "lease-result":
+        if not isinstance(message.get("lease"), str):
+            raise ProtocolError(
+                "bad-message", "lease-result needs a 'lease' id string"
+            )
+        if not isinstance(message.get("result"), dict):
+            raise ProtocolError(
+                "bad-message", "lease-result needs a 'result' object"
+            )
     return type_
 
 
@@ -321,6 +427,10 @@ ERROR_CODES = frozenset(
         "frame-too-large",
         "server-error",
         "shutting-down",
+        "unauthorized",   # auth token missing/wrong on a guarded listener
+        "busy",           # pending-spec queue at --max-pending capacity
+        "unsupported",    # worker frame sent to a plain (non-pool) server
+        "unknown-worker", # heartbeat/lease-result from an unregistered peer
     }
 )
 

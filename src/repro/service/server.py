@@ -92,11 +92,17 @@ class ScenarioServer:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        auth_token: Optional[str] = None,
+        max_pending: Optional[int] = None,
     ):
         self.backend = backend if backend is not None else LocalBackend()
         self.host = host
         self.port = port
         self.max_frame_bytes = max_frame_bytes
+        #: shared-secret listener auth; None = open listener.
+        self.auth_token = auth_token
+        #: backpressure: cap on specs accepted but not yet completed.
+        self.max_pending = max_pending
         self.jobs: Dict[str, Job] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._stop = asyncio.Event()
@@ -139,6 +145,13 @@ class ScenarioServer:
         return task
 
     async def _handle_connection(self, reader, writer) -> None:
+        # register with the task set so wait_stopped() cancels and
+        # drains open connections instead of orphaning them (the
+        # listener's close() only stops *new* connections)
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
         decoder = FrameDecoder(self.max_frame_bytes)
         write_lock = asyncio.Lock()
         try:
@@ -166,11 +179,20 @@ class ScenarioServer:
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
+            self._connection_closed(writer)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # swallowing the cancellation here lets a connection
+                # task cancelled by wait_stopped() finish cleanly
+                # instead of tripping asyncio's exception callback
                 pass
+
+    def _connection_closed(self, writer) -> None:
+        """Hook: a connection ended (coordinator uses it to evict
+        the worker registered on it)."""
 
     async def _send(self, writer, lock: asyncio.Lock,
                     message: Mapping[str, Any]) -> None:
@@ -194,10 +216,15 @@ class ScenarioServer:
     async def _dispatch(self, message, writer, lock) -> bool:
         """Handle one request; True means close this connection."""
         try:
+            protocol.check_token(message, self.auth_token)
             type_ = protocol.validate_request(message)
         except ProtocolError as exc:
             await self._send_error(writer, lock, exc)
             return False
+        if type_ in protocol.WORKER_REQUEST_TYPES:
+            return await self._handle_worker_frame(
+                type_, message, writer, lock
+            )
         if type_ == "ping":
             await self._send(writer, lock, protocol.make_pong())
             return False
@@ -256,24 +283,75 @@ class ScenarioServer:
         await self._handle_submit(message, writer, lock)
         return False
 
+    async def _handle_worker_frame(self, type_, message, writer,
+                                   lock) -> bool:
+        """Hook: worker frames land here; a plain server has no pool."""
+        await self._send_error(
+            writer, lock,
+            ProtocolError(
+                "unsupported",
+                f"{type_!r} frames need a coordinator "
+                "(repro coordinator), not a plain server",
+            ),
+        )
+        return False
+
+    def _pending_specs(self) -> int:
+        """Specs accepted but not yet completed, across all jobs."""
+        return sum(
+            max(0, len(job.specs) - len(job.results))
+            for job in self.jobs.values()
+            if not job.finished
+        )
+
     async def _handle_submit(self, message, writer, lock) -> None:
         try:
             specs = self._build_specs(message)
         except ProtocolError as exc:
             await self._send_error(writer, lock, exc)
             return
+        if self.max_pending is not None:
+            pending = self._pending_specs()
+            if pending + len(specs) > self.max_pending:
+                await self._send(
+                    writer, lock,
+                    protocol.make_error(
+                        "busy",
+                        f"pending-spec queue is full ({pending} pending, "
+                        f"{len(specs)} submitted, cap {self.max_pending}); "
+                        "retry with backoff",
+                        detail={"pending": pending,
+                                "submitted": len(specs),
+                                "max_pending": self.max_pending},
+                    ),
+                )
+                return
         shards = message.get("shards") or 1
-        batches = [b for b in shard.shard_batches(specs, shards) if b]
+        batches = self._job_batches(specs, shards)
         self._job_counter += 1
         job = Job(id=f"job-{self._job_counter}", specs=specs,
                   batches=batches)
         self.jobs[job.id] = job
+        self._job_created(job)
         await self._send(
             writer, lock, protocol.make_ack(job.id, len(specs))
         )
         self._spawn(self._run_job(job))
         if message.get("stream", True):
             self._spawn(self._stream_job(job, writer, lock))
+
+    def _job_batches(self, specs: List[ScenarioSpec],
+                     shards: int) -> List[List[ScenarioSpec]]:
+        """Hook: how a job's specs group into backend calls (the
+        coordinator ignores ``shards`` — its pool leases spec-by-spec,
+        so batch boundaries would only serialize the fan-out)."""
+        return [b for b in shard.shard_batches(specs, shards) if b]
+
+    def _job_created(self, job: Job) -> None:
+        """Hook: a job was accepted (coordinator journals it here)."""
+
+    def _job_finished(self, job: Job) -> None:
+        """Hook: a job reached a terminal state."""
 
     def _build_specs(self, message) -> List[ScenarioSpec]:
         """Validate spec dicts against the registry; expand sweep/shard."""
@@ -332,8 +410,10 @@ class ScenarioServer:
                 if job.cancelled:
                     break
                 await loop.run_in_executor(
-                    None, lambda b=batch: self.backend.run(b,
-                                                           progress=on_result)
+                    None,
+                    lambda b=batch: self.backend.run(
+                        b, progress=on_result, label=job.id
+                    ),
                 )
             job.state = "cancelled" if job.cancelled else "done"
         except _JobCancelled:
@@ -346,6 +426,7 @@ class ScenarioServer:
             job.error = traceback.format_exc()
         finally:
             job.updated.set()
+            self._job_finished(job)
             self._prune_jobs()
 
     def _prune_jobs(self) -> None:
@@ -437,8 +518,13 @@ class BackgroundServer:
     """
 
     def __init__(self, backend: Optional[Backend] = None,
-                 host: str = DEFAULT_HOST, port: int = 0):
-        self.server = ScenarioServer(backend, host=host, port=port)
+                 host: str = DEFAULT_HOST, port: int = 0,
+                 server: Optional[ScenarioServer] = None):
+        # a prebuilt server (e.g. a ClusterCoordinator) can be handed
+        # in directly; backend/host/port describe the default one.
+        self.server = server if server is not None else ScenarioServer(
+            backend, host=host, port=port
+        )
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread = threading.Thread(target=self._run, daemon=True)

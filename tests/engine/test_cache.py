@@ -124,3 +124,71 @@ class TestExecutorCacheIntegration:
             assert "bad input" in result.error
         finally:
             unregister("_boom2")
+
+
+class TestPrune:
+    def _fill(self, tmp_path, count, version="vvvvvvvvvvvv"):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path / "cache", code_version=version)
+        specs = [ScenarioSpec("_p", {"i": i}) for i in range(count)]
+        base = time.time() - count
+        for offset, spec in enumerate(specs):
+            path = cache.put(_result_for(spec))
+            # deterministic, strictly increasing recency
+            os.utime(path, (base + offset, base + offset))
+        return cache, specs
+
+    def test_prune_keeps_the_newest_entries(self, tmp_path):
+        cache, specs = self._fill(tmp_path, 6)
+        removed = cache.prune(2)
+        assert removed == 4
+        # the two most recently written entries survive
+        assert cache.get(specs[-1]) is not None
+        assert cache.get(specs[-2]) is not None
+        assert all(cache.get(s) is None for s in specs[:-2])
+
+    def test_prune_spans_code_versions_and_drops_empty_dirs(self, tmp_path):
+        old = ResultCache(tmp_path / "cache", code_version="oldversion01")
+        spec = ScenarioSpec("_old", {"i": 99})
+        path = old.put(_result_for(spec))
+        import os
+        os.utime(path, (1.0, 1.0))  # ancient
+        cache, specs = self._fill(tmp_path, 3)
+        assert cache.prune(3) == 1  # the stale-version entry goes first
+        assert not (tmp_path / "cache" / "oldversion01").exists()
+        assert all(cache.get(s) is not None for s in specs)
+
+    def test_prune_within_budget_is_a_noop(self, tmp_path):
+        cache, specs = self._fill(tmp_path, 3)
+        assert cache.prune(10) == 0
+        assert cache.prune(3) == 0
+        assert all(cache.get(s) is not None for s in specs)
+
+    def test_negative_cap_is_a_noop(self, tmp_path):
+        cache, specs = self._fill(tmp_path, 2)
+        assert cache.prune(-1) == 0
+        assert all(cache.get(s) is not None for s in specs)
+
+    def test_stats_split_current_and_stale(self, tmp_path):
+        cache, _specs = self._fill(tmp_path, 3)
+        other = ResultCache(tmp_path / "cache", code_version="oldversion01")
+        other.put(_result_for(ScenarioSpec("_old")))
+        stats = cache.stats()
+        assert stats["entries"] == 4
+        assert stats["current_version"] == 3
+        assert stats["stale"] == 1
+        assert stats["bytes"] > 0
+
+
+class TestLocalBackendPrune:
+    def test_local_backend_honours_max_cache_entries(self, tmp_path):
+        from repro.service.backend import LocalBackend
+
+        backend = LocalBackend(
+            backend="serial", cache=tmp_path / "cache", max_cache_entries=2
+        )
+        specs = [get(n).spec for n in ("E1", "E5", "E7")]
+        backend.run(specs)
+        assert len(backend.cache.entries()) <= 2

@@ -180,3 +180,84 @@ class TestRequestValidation:
         for type_ in ("stream", "cancel"):
             with pytest.raises(ProtocolError):
                 validate_request({"v": PROTOCOL_VERSION, "type": type_})
+
+
+class TestWorkerFrames:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            protocol.make_register("wk-1", capacity=2),
+            protocol.make_registered("w1", heartbeat_s=1.5,
+                                     lease_timeout_s=6.0),
+            protocol.make_lease("lease-9", {"name": "E1", "params": {}}),
+            protocol.make_lease_result("lease-9", {"name": "E1",
+                                                   "spec_hash": "ab"}),
+            protocol.make_heartbeat("w1"),
+        ],
+    )
+    def test_worker_messages_round_trip(self, message):
+        assert decode_frame(encode_frame(message).rstrip(b"\n")) == message
+
+    def test_worker_requests_validate(self):
+        assert validate_request(
+            protocol.make_register("wk-1", capacity=1)
+        ) == "register"
+        assert validate_request(protocol.make_heartbeat("w1")) == "heartbeat"
+        assert validate_request(
+            protocol.make_lease_result("lease-1", {"name": "E1"})
+        ) == "lease-result"
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"type": "register", "capacity": 1},            # no name
+            {"type": "register", "name": "w", "capacity": 0},
+            {"type": "register", "name": "w", "capacity": True},
+            {"type": "lease-result", "result": {}},          # no lease id
+            {"type": "lease-result", "lease": "l1"},         # no result
+            {"type": "lease-result", "lease": "l1", "result": [1]},
+        ],
+    )
+    def test_malformed_worker_frames_rejected(self, message):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"v": PROTOCOL_VERSION, **message})
+        assert info.value.code == "bad-message"
+
+    def test_coordinator_pushed_frames_are_not_requests(self):
+        for message in (
+            protocol.make_registered("w1", 1.0, 4.0),
+            protocol.make_lease("l1", {"name": "E1"}),
+        ):
+            with pytest.raises(ProtocolError) as info:
+                validate_request(message)
+            assert info.value.code == "unknown-type"
+
+
+class TestAuthToken:
+    def test_open_listener_accepts_everything(self):
+        protocol.check_token(protocol.make_ping(), None)
+        protocol.check_token({"type": "submit"}, None)
+
+    def test_matching_token_passes(self):
+        message = protocol.attach_token(protocol.make_ping(), "s3cret")
+        assert message["token"] == "s3cret"
+        protocol.check_token(message, "s3cret")
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            protocol.make_ping(),                            # missing
+            {**protocol.make_ping(), "token": "wrong"},
+            {**protocol.make_ping(), "token": 42},           # non-string
+            {**protocol.make_ping(), "token": ""},
+        ],
+    )
+    def test_unauthenticated_frames_rejected(self, message):
+        with pytest.raises(ProtocolError) as info:
+            protocol.check_token(message, "s3cret")
+        assert info.value.code == "unauthorized"
+        assert not info.value.fatal  # the connection may try again
+
+    def test_attach_token_is_a_noop_without_a_secret(self):
+        message = protocol.attach_token(protocol.make_ping(), None)
+        assert "token" not in message
