@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Assert a results warehouse agrees with a merged report JSON.
+
+Usage: python scripts/check_warehouse.py WAREHOUSE.sqlite REPORT.json [JOB_ID]
+
+Parity is checked three ways:
+
+1. **Row count** — the warehouse holds exactly one row per report
+   result (for the given job id when one is passed, otherwise across
+   the whole ``results`` table).
+2. **Spec identity** — the multiset of (scenario, spec_hash) pairs
+   matches the report's.
+3. **Headline metrics & status** — for every spec hash, the recorded
+   headline value and status equal the report's (wall time and cache
+   provenance are expected to differ between warehouse rows and the
+   streamed report, and are ignored).
+
+CI runs this after the cluster smoke sweep: every result a sharded
+cluster job streamed back must also be one queryable warehouse row.
+Exit 0 on parity, 1 with a diff summary otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine.results import Report  # noqa: E402
+from repro.telemetry.warehouse import ResultsWarehouse  # noqa: E402
+
+
+def report_index(report: Report) -> dict:
+    index: dict = {}
+    for result in report:
+        name, value = result.headline_metric()
+        numeric = (
+            float(value)
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            else None
+        )
+        index[(result.name, result.spec_hash)] = (
+            result.status, name, numeric,
+        )
+    return index
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__)
+        return 2
+    wh_path, report_path = argv[0], argv[1]
+    job_id = argv[2] if len(argv) == 3 else None
+    report = Report.load(report_path)
+    expected = report_index(report)
+    filters = {"job": job_id} if job_id else {}
+    with ResultsWarehouse(wh_path) as warehouse:
+        rows = warehouse.query(**filters)
+
+    ok = True
+    scope = f"job {job_id}" if job_id else "all rows"
+    total = len(list(report))
+    if len(rows) != total:
+        print(
+            f"ROW COUNT MISMATCH ({scope}): warehouse has {len(rows)} "
+            f"rows, report has {total} results"
+        )
+        ok = False
+
+    expected_keys = Counter((r.name, r.spec_hash) for r in report)
+    actual_keys = Counter((r["scenario"], r["spec_hash"]) for r in rows)
+    for key in sorted(set(expected_keys) | set(actual_keys)):
+        want, got = expected_keys[key], actual_keys[key]
+        if want != got:
+            print(
+                f"SPEC MISMATCH: {key[0]} ({key[1][:12]}) — "
+                f"report x{want}, warehouse x{got}"
+            )
+            ok = False
+
+    by_hash = {(r["scenario"], r["spec_hash"]): r for r in rows}
+    for key, (status, metric_name, metric_value) in expected.items():
+        row = by_hash.get(key)
+        if row is None:
+            continue  # already reported above
+        if row["status"] != status:
+            print(
+                f"STATUS DIFFERS: {key[0]} — report {status!r}, "
+                f"warehouse {row['status']!r}"
+            )
+            ok = False
+        if metric_value is not None:
+            recorded = row["headline_value"]
+            if recorded is None or abs(recorded - metric_value) > 1e-9:
+                print(
+                    f"HEADLINE DIFFERS: {key[0]} {metric_name} — "
+                    f"report {metric_value!r}, warehouse {recorded!r}"
+                )
+                ok = False
+
+    if ok:
+        print(
+            f"{len(rows)} warehouse rows match the report "
+            f"({scope}: counts, spec hashes, statuses, headline metrics)"
+        )
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -29,6 +29,7 @@ Failure model:
 from __future__ import annotations
 
 import asyncio
+from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.cluster.journal import JobJournal, JournalState
@@ -39,16 +40,20 @@ from repro.service import protocol
 from repro.service.backend import PoolBackend
 from repro.service.protocol import ProtocolError
 from repro.service.server import DEFAULT_HOST, Job, ScenarioServer
+from repro.telemetry.events import BUS
+from repro.telemetry.metrics import METRICS
 
 DEFAULT_PORT = 7452
 DEFAULT_LEASE_TIMEOUT_S = 30.0
+
+_COMPONENT = "cluster.coordinator"
 
 
 class WorkItem:
     """One spec awaiting (or under) execution for one batch."""
 
     __slots__ = ("spec", "job_id", "sink", "batch_id", "abandoned",
-                 "delivered")
+                 "delivered", "leased_at")
 
     def __init__(self, spec: ScenarioSpec, job_id: str, sink,
                  batch_id: str):
@@ -58,6 +63,7 @@ class WorkItem:
         self.batch_id = batch_id
         self.abandoned = False
         self.delivered = False
+        self.leased_at = 0.0      # loop time of the latest grant
 
 
 class WorkerHandle:
@@ -154,6 +160,7 @@ class ClusterPool:
             "inflight": sum(len(w.leases) for w in self.workers.values()),
             "completed": self.total_completed,
             "requeued": self.total_requeued,
+            "steals": self.queue.steals,
         }
 
     # -- batches (PoolBackend face) ------------------------------------------
@@ -199,6 +206,11 @@ class ClusterPool:
         self.workers[worker.id] = worker
         self._by_writer[id(writer)] = worker.id
         self.queue.add_worker(worker.id)
+        METRICS.counter("cluster.workers_registered").inc()
+        METRICS.gauge("cluster.workers").set(len(self.workers))
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "worker-register", worker=worker.id,
+                     name=name, capacity=worker.capacity)
         return worker
 
     def worker_for_writer(self, writer) -> Optional[WorkerHandle]:
@@ -225,6 +237,12 @@ class ClusterPool:
         worker.leases.clear()
         self.queue.remove_worker(worker_id)
         self.total_requeued += requeued
+        METRICS.counter("cluster.workers_lost").inc()
+        METRICS.counter("cluster.leases_requeued").inc(requeued)
+        METRICS.gauge("cluster.workers").set(len(self.workers))
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "worker-lost", worker=worker_id,
+                     name=worker.name, requeued=requeued)
         if not self.closed and (requeued or self.queue.pending()):
             self.loop.create_task(self.dispatch_all())
 
@@ -233,7 +251,12 @@ class ClusterPool:
         worker.last_seen = self.loop.time()
         item = worker.leases.pop(lease_id, None)
         if item is None:
-            return  # stale lease: already expired and requeued
+            # stale lease: already expired and requeued
+            METRICS.counter("cluster.stale_results").inc()
+            if BUS.enabled:
+                BUS.emit(_COMPONENT, "stale-result", worker=worker.id,
+                         lease=lease_id)
+            return
         if not item.abandoned and not item.delivered:
             try:
                 result = ScenarioResult.from_dict(result_data)
@@ -248,6 +271,18 @@ class ClusterPool:
             item.delivered = True
             worker.completed += 1
             self.total_completed += 1
+            METRICS.counter("cluster.leases_completed").inc()
+            if item.leased_at:
+                # grant-to-result latency: execution + queueing + wire
+                METRICS.histogram("cluster.lease_latency_s").observe(
+                    self.loop.time() - item.leased_at
+                )
+            if BUS.enabled:
+                BUS.emit(_COMPONENT, "lease-complete",
+                         job_id=item.job_id,
+                         spec_hash=item.spec.content_hash,
+                         worker=worker.id, lease=lease_id,
+                         status=result.status)
             item.sink.put(("result", result))
             self._batch_done(item)
         await self._grant(worker)
@@ -270,16 +305,29 @@ class ClusterPool:
                 return
             if item.abandoned or item.delivered:
                 continue
+            stolen = self.queue.stole_last
             self._lease_counter += 1
             lease_id = f"lease-{self._lease_counter}"
             worker.leases[lease_id] = item
+            item.leased_at = self.loop.time()
+            METRICS.counter("cluster.leases_granted").inc()
+            if stolen:
+                METRICS.counter("cluster.steals").inc()
+            METRICS.gauge("cluster.queued").set(self.queue.pending())
+            if BUS.enabled:
+                BUS.emit(_COMPONENT,
+                         "lease-steal" if stolen else "lease-grant",
+                         job_id=item.job_id,
+                         spec_hash=item.spec.content_hash,
+                         worker=worker.id, lease=lease_id)
             if self.journal is not None:
                 self.journal.record_lease(
                     item.job_id, item.spec.content_hash, worker.id
                 )
             try:
                 frame = protocol.encode_frame(
-                    protocol.make_lease(lease_id, item.spec.to_dict())
+                    protocol.make_lease(lease_id, item.spec.to_dict(),
+                                        job=item.job_id)
                 )
                 async with worker.lock:
                     worker.writer.write(frame)
@@ -300,6 +348,14 @@ class ClusterPool:
                     if w.last_seen < deadline
                 ]
                 for worker in stale:
+                    METRICS.counter("cluster.heartbeat_misses").inc()
+                    if BUS.enabled:
+                        BUS.emit(_COMPONENT, "heartbeat-miss",
+                                 worker=worker.id, name=worker.name,
+                                 silent_for_s=round(
+                                     self.loop.time() - worker.last_seen,
+                                     3,
+                                 ))
                     try:
                         worker.writer.close()
                     except Exception:
@@ -323,6 +379,7 @@ class ClusterCoordinator(ScenarioServer):
         auth_token: Optional[str] = None,
         max_pending: Optional[int] = None,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        warehouse=None,
     ):
         self.journal = (
             JobJournal(journal_path) if journal_path else None
@@ -330,6 +387,13 @@ class ClusterCoordinator(ScenarioServer):
         self.pool = ClusterPool(
             journal=self.journal, lease_timeout_s=lease_timeout_s
         )
+        # every streamed result also lands as a warehouse row (journal
+        # replays on --resume bypass _append_result, so no duplicates)
+        if isinstance(warehouse, (str, Path)):
+            from repro.telemetry.warehouse import ResultsWarehouse
+
+            warehouse = ResultsWarehouse(warehouse, source="coordinator")
+        self.warehouse = warehouse
         super().__init__(
             PoolBackend(self.pool),
             host=host,
@@ -378,6 +442,11 @@ class ClusterCoordinator(ScenarioServer):
 
     def request_stop(self) -> None:
         self.pool.shutdown()
+        if self.warehouse is not None:
+            try:
+                self.warehouse.close()
+            except Exception:
+                pass  # shutdown must not hang on a sick warehouse
         super().request_stop()
 
     # -- server hooks -------------------------------------------------------
@@ -394,6 +463,13 @@ class ClusterCoordinator(ScenarioServer):
     def _append_result(self, job: Job, result: ScenarioResult) -> None:
         if self.journal is not None:
             self.journal.record_complete(job.id, result)
+        if self.warehouse is not None:
+            try:
+                self.warehouse.record_result(result, job_id=job.id)
+            except Exception:
+                # the warehouse is observability, not correctness: a
+                # full queue or dead writer must not fail the sweep
+                pass
         super()._append_result(job, result)
 
     def _job_finished(self, job: Job) -> None:
@@ -407,6 +483,9 @@ class ClusterCoordinator(ScenarioServer):
         worker = self.pool.worker_for_writer(writer)
         if worker is not None:
             self.pool.worker_lost(worker.id)
+
+    def _cluster_status(self) -> Optional[Dict[str, Any]]:
+        return self.pool.status()
 
     # -- worker frames ------------------------------------------------------
 

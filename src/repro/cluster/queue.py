@@ -28,6 +28,10 @@ class WorkStealingQueue:
     def __init__(self) -> None:
         self._deques: Dict[str, Deque[Any]] = {}
         self._backlog: Deque[Any] = deque()
+        #: lifetime steal count, and whether the most recent pop() was
+        #: a steal — the coordinator reads these for telemetry.
+        self.steals = 0
+        self.stole_last = False
 
     # -- membership ---------------------------------------------------------
 
@@ -77,6 +81,7 @@ class WorkStealingQueue:
         victim's own pops are undisturbed.  Returns ``None`` when the
         whole queue is drained.
         """
+        self.stole_last = False
         own = self._deques.get(worker_id)
         if own:
             return own.popleft()
@@ -89,6 +94,8 @@ class WorkStealingQueue:
             if victim is None or len(items) > len(self._deques[victim]):
                 victim = other
         if victim is not None:
+            self.steals += 1
+            self.stole_last = True
             return self._deques[victim].pop()
         return None
 

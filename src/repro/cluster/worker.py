@@ -32,6 +32,10 @@ from repro.service import protocol
 from repro.service.backend import Backend, LocalBackend
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import ProtocolError
+from repro.telemetry.events import BUS, diag
+from repro.telemetry.metrics import METRICS
+
+_COMPONENT = "cluster.worker"
 
 
 class WorkerError(Exception):
@@ -98,7 +102,8 @@ class ClusterWorker:
 
     def _log(self, text: str) -> None:
         if not self.quiet:
-            print(f"[worker {self.name}] {text}", flush=True)
+            # diagnostics go to stderr; stdout stays machine-readable
+            diag(f"worker {self.name}", text)
 
     # -- main loop ----------------------------------------------------------
 
@@ -207,19 +212,38 @@ class ClusterWorker:
 
     def _execute_lease(self, frame: dict) -> None:
         lease_id = frame["lease"]
+        job_id = str(frame.get("job") or "")
         try:
             spec = ScenarioSpec.from_dict(frame["spec"])
         except (KeyError, TypeError, ValueError):
             self._log(f"undecodable lease {lease_id!r}; dropping")
             return
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "lease-start", job_id=job_id,
+                     spec_hash=spec.content_hash, worker=self.name,
+                     lease=lease_id, scenario=spec.name)
+        started = time.perf_counter()
         try:
-            results = self.backend.run([spec])
+            results = self.backend.run([spec], label=job_id or None)
             result = results[0] if results else self._failure(
-                spec, "backend returned no result"
+                spec, "backend returned no result",
+                elapsed_s=time.perf_counter() - started,
             )
         except Exception:
-            result = self._failure(spec, traceback.format_exc())
+            result = self._failure(
+                spec, traceback.format_exc(),
+                elapsed_s=time.perf_counter() - started,
+            )
         self.executed += 1
+        METRICS.counter("worker.leases_executed").inc()
+        if not result.ok:
+            METRICS.counter("worker.leases_failed").inc()
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "lease-done", job_id=job_id,
+                     spec_hash=spec.content_hash, worker=self.name,
+                     lease=lease_id, scenario=spec.name,
+                     status=result.status,
+                     wall_time_s=round(result.elapsed_s, 6))
         self._log(
             f"{spec.name} -> {result.status} ({result.elapsed_s:.2f}s)"
         )
@@ -236,11 +260,16 @@ class ClusterWorker:
                 self._failure(
                     spec,
                     f"result dropped: {exc.code}: {exc}",
+                    elapsed_s=result.elapsed_s,
                 ).to_dict(),
             ))
 
     @staticmethod
-    def _failure(spec: ScenarioSpec, error: str) -> ScenarioResult:
+    def _failure(
+        spec: ScenarioSpec, error: str, elapsed_s: float = 0.0
+    ) -> ScenarioResult:
+        # failures keep their spec hash and wall time so they are
+        # queryable in the warehouse, not just printable tracebacks
         return ScenarioResult(
             name=spec.name,
             spec_hash=spec.content_hash,
@@ -249,6 +278,7 @@ class ClusterWorker:
             tags=tuple(sorted(spec.tags)),
             status="error",
             backend="worker",
+            elapsed_s=elapsed_s,
             error=error,
         )
 

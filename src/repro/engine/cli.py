@@ -20,6 +20,11 @@ Examples::
     repro worker --connect 127.0.0.1:7452 --cache .worker_cache
     repro submit --port 7452 --attach job-1 --out resumed.json
     repro cache --prune --max-entries 500
+    repro cache --stats
+    repro run --tags smoke --warehouse .repro_cache/warehouse.sqlite
+    repro query --scenario E10 --since 2026-08-01 --agg mean:wall_time
+    repro query --ingest-trajectory BENCH_TRAJECTORY.json
+    repro status --port 7452 --watch
 
 (``repro`` is the installed console script; ``PYTHONPATH=src python -m
 repro`` is the equivalent from a bare checkout.)
@@ -93,13 +98,32 @@ def _progress_printer(quiet: bool):
         if quiet:
             return
         origin = "cached" if result.cached else result.backend
+        # per-result progress is a diagnostic: stderr, so stdout stays
+        # clean for the report / JSON that scripts consume
         print(
             f"  {result.name:<14} {result.status:<7} "
             f"[{origin}] {result.elapsed_s:.2f}s",
+            file=sys.stderr,
             flush=True,
         )
 
     return progress
+
+
+#: default warehouse location shared by the recording and query sides.
+DEFAULT_WAREHOUSE = ".repro_cache/warehouse.sqlite"
+
+
+def _warehouse_path(args, *, require: bool = False) -> Optional[str]:
+    """--warehouse/--db beats REPRO_WAREHOUSE; None means 'off'."""
+    path = (
+        getattr(args, "warehouse", None)
+        or getattr(args, "db", None)
+        or os.environ.get("REPRO_WAREHOUSE")
+    )
+    if path is None and require:
+        return DEFAULT_WAREHOUSE
+    return path
 
 
 def cmd_list(args) -> int:
@@ -145,16 +169,31 @@ def cmd_run(args) -> int:
     cache = None if args.no_cache else ResultCache(args.cache)
     progress = _progress_printer(args.quiet)
 
-    report = execute(
-        specs,
-        workers=args.workers,
-        timeout_s=args.timeout,
-        backend=args.backend,
-        cache=cache,
-        progress=progress,
-    )
+    warehouse = None
+    warehouse_path = _warehouse_path(args)
+    if warehouse_path:
+        from repro.telemetry.warehouse import ResultsWarehouse
+
+        warehouse = ResultsWarehouse(warehouse_path, source="local")
+
+        def progress(result, _progress=progress):  # noqa: F811
+            warehouse.record_result(result)
+            _progress(result)
+
+    try:
+        report = execute(
+            specs,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            backend=args.backend,
+            cache=cache,
+            progress=progress,
+        )
+    finally:
+        if warehouse is not None:
+            warehouse.close()
     if not args.quiet:
-        print()
+        print(file=sys.stderr)
     print(report.render())
     if args.out:
         path = report.save(args.out)
@@ -224,6 +263,7 @@ def cmd_serve(args) -> int:
         timeout_s=args.timeout,
         executor=args.backend,
         cache=None if args.no_cache else args.cache,
+        warehouse=_warehouse_path(args),
     )
     server = ScenarioServer(
         backend,
@@ -248,6 +288,7 @@ def cmd_coordinator(args) -> int:
         lease_timeout_s=args.lease_timeout,
         auth_token=_auth_token(args),
         max_pending=args.max_pending,
+        warehouse=_warehouse_path(args),
     )
     journal = "journal off" if args.no_journal else f"journal {args.journal}"
     return _run_listener(
@@ -302,6 +343,9 @@ def cmd_cache(args) -> int:
 
     cache = ResultCache(args.dir)
     stats = cache.stats()
+    if args.stats:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
     if args.clear:
         removed = cache.clear()
         print(f"cleared {removed} entries from {args.dir}")
@@ -323,6 +367,125 @@ def cmd_cache(args) -> int:
         f"code version {stats['code_version']}, {stats['stale']} stale"
     )
     return 0
+
+
+def cmd_status(args) -> int:
+    """Poll a listener's status frame: jobs + live metrics (+ cluster)."""
+    import time
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        while True:
+            try:
+                with ServiceClient(
+                    args.host, args.port, retries=args.retry,
+                    timeout=args.timeout, auth_token=_auth_token(args),
+                ) as client:
+                    snapshot = client.status_full(args.job)
+            except ServiceError as exc:
+                print(f"service error: {exc}", file=sys.stderr)
+                return 2
+            print(json.dumps(snapshot, indent=1, sort_keys=True),
+                  flush=True)
+            if not args.watch:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _query_filters(args) -> dict:
+    filters: dict = {}
+    for key in ("scenario", "status", "job", "spec_hash", "source",
+                "code_version", "since", "until"):
+        value = getattr(args, key, None)
+        if value is not None:
+            filters[key] = value
+    if args.cached is not None:
+        filters["cached"] = args.cached == "yes"
+    return filters
+
+
+def _print_rows(rows: list, fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps(rows, indent=1))
+        return
+    from repro.analysis.report import format_table
+
+    print(format_table(rows))
+
+
+def _query_display_row(row: dict) -> dict:
+    """Trim a warehouse row to the columns a terminal table can hold."""
+    from datetime import datetime, timezone
+
+    when = datetime.fromtimestamp(
+        row["recorded_at"], tz=timezone.utc
+    ).strftime("%Y-%m-%dT%H:%M:%SZ")
+    return {
+        "recorded_at": when,
+        "scenario": row["scenario"],
+        "status": row["status"],
+        "wall_s": f"{row['wall_time_s']:.3f}",
+        "cached": "yes" if row["cached"] else "no",
+        "headline": (
+            f"{row['headline_name']}={row['headline_value']:.4g}"
+            if row["headline_name"] and row["headline_value"] is not None
+            else ""
+        ),
+        "job": row["job_id"],
+        "spec": row["spec_hash"][:12],
+        "source": row["source"],
+    }
+
+
+def cmd_query(args) -> int:
+    from repro.telemetry.warehouse import ResultsWarehouse, WarehouseError
+
+    db = _warehouse_path(args, require=True)
+    if not args.ingest_trajectory and not os.path.exists(db):
+        print(
+            f"error: no warehouse at {db} (record one with "
+            "repro run/serve/coordinator --warehouse PATH)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with ResultsWarehouse(db) as warehouse:
+            if args.ingest_trajectory:
+                added = warehouse.ingest_trajectory(args.ingest_trajectory)
+                print(f"ingested {added} bench rows into {db}")
+                return 0
+            if args.stats:
+                print(json.dumps(warehouse.stats(), indent=1,
+                                 sort_keys=True))
+                return 0
+            filters = _query_filters(args)
+            if args.bench_trend:
+                rows = warehouse.bench_trend(args.scenario, args.limit)
+                _print_rows(rows, args.format)
+                return 0
+            if args.agg:
+                rows = warehouse.aggregate(
+                    args.agg, group_by=args.group_by, **filters
+                )
+                _print_rows(rows, args.format)
+                return 0
+            if args.count:
+                print(warehouse.count(**filters))
+                return 0
+            rows = warehouse.query(limit=args.limit, **filters)
+            if args.format == "json":
+                _print_rows(rows, "json")
+            else:
+                _print_rows(
+                    [_query_display_row(r) for r in rows], "table"
+                )
+            return 0
+    except WarehouseError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_submit(args) -> int:
@@ -458,9 +621,17 @@ def build_parser() -> argparse.ArgumentParser:
             "(expanded) spec list, e.g. --shard 0/4",
         )
 
+    def add_warehouse(p):
+        p.add_argument(
+            "--warehouse", default=None, metavar="PATH",
+            help="record every result as a row in this sqlite results "
+            "warehouse (falls back to REPRO_WAREHOUSE; off by default)",
+        )
+
     p_run = sub.add_parser("run", help="execute selected scenarios")
     add_selection(p_run)
     add_sweep(p_run)
+    add_warehouse(p_run)
     p_run.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (>1 enables the process backend)",
@@ -573,6 +744,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="bypass the result cache"
     )
     add_listener_hardening(p_serve)
+    add_warehouse(p_serve)
     p_serve.set_defaults(fn=cmd_serve)
 
     p_coord = sub.add_parser(
@@ -604,6 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
         "requeued (default 30)",
     )
     add_listener_hardening(p_coord)
+    add_warehouse(p_coord)
     p_coord.set_defaults(fn=cmd_coordinator)
 
     p_worker = sub.add_parser(
@@ -669,6 +842,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear", action="store_true",
         help="drop every entry across all code versions",
     )
+    p_cache.add_argument(
+        "--stats", action="store_true",
+        help="print the cache statistics as JSON and exit",
+    )
     p_cache.set_defaults(fn=cmd_cache)
 
     p_submit = sub.add_parser(
@@ -727,10 +904,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="include every scenario's table, not just the summary",
     )
     p_report.set_defaults(fn=cmd_report)
+
+    p_status = sub.add_parser(
+        "status",
+        help="print a listener's status frame: jobs, live metrics, "
+        "cluster pool state (JSON)",
+    )
+    p_status.add_argument("--host", default="127.0.0.1")
+    p_status.add_argument(
+        "--port", type=int, default=7341,
+        help="listener port (7341 service, 7452 coordinator default)",
+    )
+    p_status.add_argument(
+        "--job", default=None, help="restrict the jobs block to one job id"
+    )
+    p_status.add_argument(
+        "--watch", action="store_true",
+        help="poll repeatedly (every --interval seconds) until ^C",
+    )
+    p_status.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch polls (default 2)",
+    )
+    p_status.add_argument(
+        "--retry", type=int, default=0,
+        help="connection attempts beyond the first (0.2s apart)",
+    )
+    p_status.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="socket timeout (s; default 10)",
+    )
+    p_status.add_argument(
+        "--auth-token", default=None,
+        help="shared secret for a guarded listener "
+        "(falls back to REPRO_AUTH_TOKEN)",
+    )
+    p_status.set_defaults(fn=cmd_status)
+
+    p_query = sub.add_parser(
+        "query",
+        help="query the sqlite results warehouse (filters, aggregates, "
+        "bench trends)",
+    )
+    p_query.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="warehouse path (falls back to REPRO_WAREHOUSE, then "
+        f"{DEFAULT_WAREHOUSE})",
+    )
+    p_query.add_argument("--scenario", default=None,
+                         help="filter: scenario name, e.g. E10")
+    p_query.add_argument("--status", default=None,
+                         help="filter: ok | error | timeout")
+    p_query.add_argument("--job", default=None, help="filter: job id")
+    p_query.add_argument("--spec-hash", default=None,
+                         help="filter: content hash of the spec")
+    p_query.add_argument("--source", default=None,
+                         help="filter: local | coordinator")
+    p_query.add_argument("--code-version", default=None,
+                         help="filter: engine code-version digest")
+    p_query.add_argument(
+        "--cached", choices=("yes", "no"), default=None,
+        help="filter: cache replays only (yes) or fresh runs only (no)",
+    )
+    p_query.add_argument(
+        "--since", default=None,
+        help="filter: rows recorded at/after this ISO date or epoch",
+    )
+    p_query.add_argument(
+        "--until", default=None,
+        help="filter: rows recorded at/before this ISO date or epoch",
+    )
+    p_query.add_argument(
+        "--limit", type=int, default=None, help="cap on returned rows"
+    )
+    p_query.add_argument(
+        "--agg", action="append", metavar="FN:FIELD",
+        help="grouped aggregate instead of rows, e.g. mean:wall_time "
+        "count: max:headline_value (repeatable)",
+    )
+    p_query.add_argument(
+        "--group-by", default="scenario",
+        help="grouping column for --agg (default scenario)",
+    )
+    p_query.add_argument(
+        "--count", action="store_true",
+        help="print just the matching row count",
+    )
+    p_query.add_argument(
+        "--stats", action="store_true",
+        help="print warehouse-wide statistics as JSON",
+    )
+    p_query.add_argument(
+        "--bench-trend", action="store_true",
+        help="read the ingested bench history instead of results "
+        "(honors --scenario/--limit)",
+    )
+    p_query.add_argument(
+        "--ingest-trajectory", metavar="PATH", default=None,
+        help="load a BENCH_TRAJECTORY.json into the bench history "
+        "(idempotent) and exit",
+    )
+    p_query.add_argument(
+        "--format", choices=("table", "json"), default="table"
+    )
+    p_query.set_defaults(fn=cmd_query)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.telemetry.events import configure_from_env
+
+    configure_from_env()  # REPRO_EVENTS=path.jsonl traces every event
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

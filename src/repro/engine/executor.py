@@ -22,8 +22,41 @@ from repro.engine import registry
 from repro.engine.cache import ResultCache
 from repro.engine.results import Report, ScenarioResult
 from repro.engine.spec import ScenarioSpec
+from repro.telemetry.events import BUS
+from repro.telemetry.metrics import METRICS
 
 ProgressFn = Callable[[ScenarioResult], None]
+
+_COMPONENT = "engine.executor"
+
+#: terminal event kind per result status (anything else is an error).
+_RESULT_KINDS = {"ok": "job-finish", "timeout": "job-timeout"}
+
+
+def _observe_result(result: ScenarioResult) -> None:
+    """Per-result telemetry at the collection point (any backend)."""
+    if result.cached:
+        METRICS.counter("engine.cache_hits").inc()
+    else:
+        if result.ok:
+            METRICS.counter("engine.jobs_completed").inc()
+        METRICS.histogram("engine.job_wall_s").observe(result.elapsed_s)
+        METRICS.histogram(
+            f"engine.wall_s.{result.name}"
+        ).observe(result.elapsed_s)
+    if not result.ok:
+        METRICS.counter("engine.jobs_failed").inc()
+    if BUS.enabled:
+        BUS.emit(
+            _COMPONENT,
+            "cache-hit" if result.cached
+            else _RESULT_KINDS.get(result.status, "job-error"),
+            spec_hash=result.spec_hash,
+            scenario=result.name,
+            status=result.status,
+            wall_time_s=round(result.elapsed_s, 6),
+            backend=result.backend,
+        )
 
 
 def _seed_rngs(seed: int) -> None:
@@ -40,6 +73,12 @@ def run_spec(spec: ScenarioSpec, backend: str = "serial") -> ScenarioResult:
     """Execute one spec deterministically and capture the outcome."""
     registry.load_all()
     scn = registry.get(spec.name)
+    if BUS.enabled:
+        BUS.emit(
+            _COMPONENT, "job-start",
+            spec_hash=spec.content_hash, scenario=spec.name,
+            backend=backend,
+        )
     _seed_rngs(spec.derived_seed())
     start = time.perf_counter()
     try:
@@ -172,6 +211,7 @@ class ProcessBackend:
                 (spec, pool.apply_async(_worker, (spec,))) for spec in specs
             ]
             for index, (spec, handle) in enumerate(pending):
+                waited_from = time.perf_counter()
                 try:
                     result = handle.get(self.timeout_s)
                 except multiprocessing.TimeoutError:
@@ -181,7 +221,9 @@ class ProcessBackend:
                 except Exception as exc:
                     # format_exception(exc) renders the whole chain —
                     # including multiprocessing's RemoteTraceback cause,
-                    # i.e. the worker-side frames — verbatim
+                    # i.e. the worker-side frames — verbatim; elapsed is
+                    # the collector's wait (an upper bound on the run),
+                    # so even pool-level failures are queryable by time
                     result = ScenarioResult(
                         name=spec.name,
                         spec_hash=spec.content_hash,
@@ -190,6 +232,7 @@ class ProcessBackend:
                         tags=tuple(sorted(spec.tags)),
                         status="error",
                         backend=self.name,
+                        elapsed_s=time.perf_counter() - waited_from,
                         error="".join(traceback.format_exception(exc)),
                     )
                 results.append(result)
@@ -249,16 +292,21 @@ def execute(
     specs = list(specs)
     results: List[ScenarioResult] = []
     to_run: List[ScenarioSpec] = []
+
+    def observed(result: ScenarioResult) -> None:
+        _observe_result(result)
+        if progress:
+            progress(result)
+
     for spec in specs:
         hit = cache.get(spec) if cache is not None else None
         if hit is not None:
             results.append(hit)
-            if progress:
-                progress(hit)
+            observed(hit)
         else:
             to_run.append(spec)
     runner = make_backend(backend, workers=workers, timeout_s=timeout_s)
-    fresh = runner.run(to_run, progress=progress)
+    fresh = runner.run(to_run, progress=observed)
     if cache is not None:
         for result in fresh:
             if result.ok:

@@ -50,7 +50,14 @@ class Backend:
 
 
 class LocalBackend(Backend):
-    """The engine executor (serial or process pool) plus its cache."""
+    """The engine executor (serial or process pool) plus its cache.
+
+    When constructed with a ``warehouse`` (a
+    :class:`~repro.telemetry.warehouse.ResultsWarehouse` or a path to
+    one), every result — fresh, failed, or cache replay — is recorded
+    as a warehouse row under the submitting job's id, so a whole run
+    history is queryable with ``repro query``.
+    """
 
     name = "local"
 
@@ -61,6 +68,7 @@ class LocalBackend(Backend):
         backend: str = "auto",
         cache: Union[ResultCache, str, Path, None] = None,
         max_cache_entries: Optional[int] = None,
+        warehouse=None,
     ):
         self.workers = workers
         self.timeout_s = timeout_s
@@ -71,6 +79,11 @@ class LocalBackend(Backend):
         #: LRU cap applied (by mtime) after every batch, so long sweep
         #: campaigns can't grow the on-disk cache without bound.
         self.max_cache_entries = max_cache_entries
+        if isinstance(warehouse, (str, Path)):
+            from repro.telemetry.warehouse import ResultsWarehouse
+
+            warehouse = ResultsWarehouse(warehouse, source="local")
+        self.warehouse = warehouse
 
     def run(
         self,
@@ -80,9 +93,12 @@ class LocalBackend(Backend):
         label: Optional[str] = None,
     ) -> List[ScenarioResult]:
         completed: List[ScenarioResult] = []
+        job_id = label or ""
 
         def observe(result: ScenarioResult) -> None:
             completed.append(result)
+            if self.warehouse is not None:
+                self.warehouse.record_result(result, job_id=job_id)
             if progress:
                 progress(result)
 
@@ -229,6 +245,7 @@ def make_service_backend(
     cache: Union[ResultCache, str, Path, None] = None,
     remote_host: Optional[str] = None,
     remote_port: Optional[int] = None,
+    warehouse=None,
 ) -> Backend:
     """Backend factory the ``repro serve`` CLI drives."""
     if kind == "local":
@@ -237,6 +254,7 @@ def make_service_backend(
             timeout_s=timeout_s,
             backend=executor,
             cache=cache,
+            warehouse=warehouse,
         )
     if kind == "remote":
         if not remote_host or remote_port is None:

@@ -252,6 +252,18 @@ class ServiceClient:
         self.send(protocol.make_status(job))
         return self._recv_checked().get("jobs", {})
 
+    def status_full(self, job: Optional[str] = None) -> Dict[str, Any]:
+        """The whole ``status-reply`` frame: jobs + the listener's live
+        telemetry (``metrics`` snapshot, ``cluster`` pool state when
+        the peer is a coordinator)."""
+        self.send(protocol.make_status(job))
+        frame = self._recv_checked()
+        return {
+            "jobs": frame.get("jobs", {}),
+            "metrics": frame.get("metrics"),
+            "cluster": frame.get("cluster"),
+        }
+
     def cancel(self, job: str) -> None:
         self.send(protocol.make_cancel(job))
         self._recv_checked()

@@ -236,8 +236,25 @@ def make_done(
     )
 
 
-def make_status_reply(jobs: Mapping[str, Mapping[str, Any]]) -> Dict[str, Any]:
-    return _message("status-reply", jobs={k: dict(v) for k, v in jobs.items()})
+def make_status_reply(
+    jobs: Mapping[str, Mapping[str, Any]],
+    *,
+    metrics: Optional[Mapping[str, Any]] = None,
+    cluster: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Job states plus the listener's live telemetry.
+
+    ``metrics`` is the process :class:`~repro.telemetry.metrics.
+    MetricsRegistry` snapshot; ``cluster`` is the coordinator pool's
+    worker/queue status (absent on a plain server).  Both are omitted
+    when None so old clients see exactly the old frame.
+    """
+    return _message(
+        "status-reply",
+        jobs={k: dict(v) for k, v in jobs.items()},
+        metrics=dict(metrics) if metrics is not None else None,
+        cluster=dict(cluster) if cluster is not None else None,
+    )
 
 
 def make_error(
@@ -284,9 +301,16 @@ def make_registered(
     )
 
 
-def make_lease(lease: str, spec: Mapping[str, Any]) -> Dict[str, Any]:
-    """One unit of leased work: a single spec, not an ``i/N`` shard."""
-    return _message("lease", lease=lease, spec=dict(spec))
+def make_lease(
+    lease: str, spec: Mapping[str, Any], job: Optional[str] = None
+) -> Dict[str, Any]:
+    """One unit of leased work: a single spec, not an ``i/N`` shard.
+
+    ``job`` is the submitting job's id — the correlation id that lets
+    a worker's events/logs be traced back to the coordinator-side
+    sweep they belong to.
+    """
+    return _message("lease", lease=lease, spec=dict(spec), job=job or None)
 
 
 def make_lease_result(lease: str, result: Mapping[str, Any]) -> Dict[str, Any]:

@@ -35,6 +35,10 @@ from repro.engine.spec import ScenarioSpec
 from repro.service import protocol, shard
 from repro.service.backend import Backend, LocalBackend
 from repro.service.protocol import FrameDecoder, ProtocolError
+from repro.telemetry.events import BUS
+from repro.telemetry.metrics import METRICS
+
+_COMPONENT = "service.server"
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7341
@@ -154,6 +158,12 @@ class ScenarioServer:
             task.add_done_callback(self._tasks.discard)
         decoder = FrameDecoder(self.max_frame_bytes)
         write_lock = asyncio.Lock()
+        METRICS.counter("service.connections").inc()
+        METRICS.gauge("service.open_connections").inc()
+        if BUS.enabled:
+            peer = writer.get_extra_info("peername")
+            BUS.emit(_COMPONENT, "connect",
+                     peer=str(peer) if peer else "")
         try:
             while True:
                 data = await reader.read(65536)
@@ -179,6 +189,9 @@ class ScenarioServer:
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
+            METRICS.gauge("service.open_connections").dec()
+            if BUS.enabled:
+                BUS.emit(_COMPONENT, "disconnect")
             self._connection_closed(writer)
             writer.close()
             try:
@@ -194,6 +207,11 @@ class ScenarioServer:
         """Hook: a connection ended (coordinator uses it to evict
         the worker registered on it)."""
 
+    def _cluster_status(self) -> Optional[Dict[str, Any]]:
+        """Hook: pool/worker status for the ``status`` frame (the
+        coordinator reports its pool; a plain server has none)."""
+        return None
+
     async def _send(self, writer, lock: asyncio.Lock,
                     message: Mapping[str, Any]) -> None:
         frame = protocol.encode_frame(message)
@@ -203,6 +221,11 @@ class ScenarioServer:
 
     async def _send_error(self, writer, lock, exc: ProtocolError,
                           job: Optional[str] = None) -> None:
+        METRICS.counter("service.rejects").inc()
+        METRICS.counter(f"service.rejects.{exc.code}").inc()
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "reject", job_id=job or "",
+                     code=exc.code, message=str(exc))
         try:
             await self._send(
                 writer, lock, protocol.make_error(exc.code, str(exc),
@@ -244,7 +267,9 @@ class ScenarioServer:
             await self._send(
                 writer, lock,
                 protocol.make_status_reply(
-                    {job_id: job.status() for job_id, job in jobs.items()}
+                    {job_id: job.status() for job_id, job in jobs.items()},
+                    metrics=METRICS.snapshot(),
+                    cluster=self._cluster_status(),
                 ),
             )
             return False
@@ -269,6 +294,9 @@ class ScenarioServer:
                 )
                 return False
             job.cancelled = True
+            METRICS.counter("service.cancels").inc()
+            if BUS.enabled:
+                BUS.emit(_COMPONENT, "cancel", job_id=job.id)
             await self._send(
                 writer, lock, protocol.make_ack(job.id, len(job.specs))
             )
@@ -333,6 +361,12 @@ class ScenarioServer:
                   batches=batches)
         self.jobs[job.id] = job
         self._job_created(job)
+        METRICS.counter("service.submits").inc()
+        METRICS.counter("service.specs_accepted").inc(len(specs))
+        METRICS.gauge("service.pending_specs").set(self._pending_specs())
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "submit", job_id=job.id,
+                     specs=len(specs), shards=len(batches))
         await self._send(
             writer, lock, protocol.make_ack(job.id, len(specs))
         )
@@ -426,6 +460,14 @@ class ScenarioServer:
             job.error = traceback.format_exc()
         finally:
             job.updated.set()
+            METRICS.counter("service.jobs_finished").inc()
+            METRICS.counter(f"service.jobs_{job.state}").inc()
+            METRICS.gauge("service.pending_specs").set(
+                self._pending_specs()
+            )
+            if BUS.enabled:
+                BUS.emit(_COMPONENT, "job-done", job_id=job.id,
+                         state=job.state, **job.counts())
             self._job_finished(job)
             self._prune_jobs()
 
@@ -438,11 +480,16 @@ class ScenarioServer:
     def _append_result(self, job: Job, result: ScenarioResult) -> None:
         job.results.append(result)
         job.updated.set()
+        METRICS.counter("service.results_completed").inc()
+        METRICS.gauge("service.pending_specs").set(self._pending_specs())
 
     # -- streaming ----------------------------------------------------------
 
     async def _stream_job(self, job: Job, writer, lock) -> None:
         sent = 0
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "stream", job_id=job.id,
+                     already_completed=len(job.results))
         try:
             while True:
                 while sent < len(job.results):
@@ -454,6 +501,7 @@ class ScenarioServer:
                         ),
                     )
                     sent += 1
+                    METRICS.counter("service.results_streamed").inc()
                 if job.finished:
                     break
                 job.updated.clear()

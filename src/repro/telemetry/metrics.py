@@ -1,0 +1,175 @@
+"""Counters, gauges and histograms behind one snapshot-able registry.
+
+The registry is process-global (:data:`METRICS`) and get-or-create:
+``METRICS.counter("service.submits").inc()`` is safe from any thread
+and from code that doesn't know whether anyone will ever read the
+number.  ``snapshot()`` renders everything as one plain dict — the
+payload the service protocol's ``status`` frame and ``repro status``
+carry.
+
+Instruments are deliberately cheap: a counter increment is one lock
+acquisition around an integer add.  Histograms keep running moments
+(count / total / min / max) plus the most recent observation rather
+than buckets — enough for lease-latency and wall-time style questions
+without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time level (queue depth, registered workers, ...)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Running moments of an observed distribution."""
+
+    __slots__ = ("count", "total", "min", "max", "last", "_lock")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self.last = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": round(self.total, 6),
+                "min": self.min,
+                "max": self.max,
+                "mean": (
+                    round(self.total / self.count, 6) if self.count else None
+                ),
+                "last": self.last,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first touch, snapshot as a dict."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.setdefault(name, cls())
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as ``{"counters": ..., "gauges": ...,
+        "histograms": ...}`` of plain JSON-able values."""
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, Any] = {}
+        histograms: Dict[str, Any] = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.snapshot()
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.snapshot()
+            else:
+                histograms[name] = instrument.snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; a long-lived server never does)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: the process-global registry every instrumented component shares.
+METRICS = MetricsRegistry()

@@ -1,0 +1,83 @@
+"""The metrics registry: instruments, snapshots, thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_counts(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5 and c.snapshot() == 5
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2.0
+
+    def test_histogram_keeps_running_moments(self):
+        h = Histogram()
+        assert h.mean is None
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert snap["mean"] == 2.0 and snap["last"] == 2.0
+
+    def test_counter_is_thread_safe(self):
+        c = Counter()
+        threads = [
+            threading.Thread(
+                target=lambda: [c.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_is_a_type_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_groups_by_kind_and_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(2)
+        reg.gauge("queue").set(7)
+        reg.histogram("wall_s").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"jobs": 2}
+        assert snap["gauges"] == {"queue": 7}
+        assert snap["histograms"]["wall_s"]["count"] == 1
+        json.dumps(snap)  # the status frame carries this verbatim
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
