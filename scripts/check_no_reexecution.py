@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Audit a coordinator journal: resumed runs re-execute nothing.
+
+Usage: python scripts/check_no_reexecution.py JOURNAL.jsonl
+
+Replays the journal (snapshot-aware: a compacted journal folds its
+snapshot plus tail) and asserts the crash-resume invariant the cluster
+is built around: **no spec hash completed before the last ``resume``
+marker appears in any lease recorded after it.**  A violation means a
+restarted coordinator handed already-banked work back to a worker —
+wasted compute at best, a correctness smell at worst.
+
+Also prints the replay cost (records folded) and snapshot provenance,
+so the chaos CI smoke doubles as a living demonstration that resume
+work after compaction is proportional to live jobs, not to history.
+Exit 0 when the invariant holds, 1 with the offending hashes
+otherwise, 2 on usage/missing-journal errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster.journal import JobJournal  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    journal_path = Path(argv[0])
+    if not journal_path.exists():
+        print(f"error: no journal at {journal_path}")
+        return 2
+    state = JobJournal.replay(journal_path)
+    provenance = (
+        "snapshot + tail" if state.from_snapshot
+        else "tail only (TORN SNAPSHOT)" if state.torn_snapshot
+        else "full journal"
+    )
+    print(
+        f"replayed {state.replayed_records} records ({provenance}), "
+        f"{len(state.jobs)} jobs, {state.resumes} resume(s), "
+        f"{state.dropped_lines} torn/dropped lines"
+    )
+    if state.resumes == 0:
+        print("no resume marker: nothing to audit (run with --resume)")
+        return 0
+    completed_before = state.completed_at_last_resume
+    post_resume = state.leases_after_last_resume()
+    offenders = sorted({
+        spec_hash
+        for (_job, spec_hash, _worker) in post_resume
+        if spec_hash in completed_before
+    })
+    print(
+        f"{len(completed_before)} spec(s) were complete at the last "
+        f"resume; {len(post_resume)} lease(s) granted after it"
+    )
+    if offenders:
+        print("RE-EXECUTION DETECTED — completed specs leased again:")
+        for spec_hash in offenders:
+            print(f"  {spec_hash}")
+        return 1
+    print("no re-execution: every post-resume lease was pending work")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -7,12 +7,27 @@ leased, one spec at a time, to registered workers
 (:mod:`repro.cluster.worker`), each of which wraps an ordinary
 :class:`~repro.service.backend.LocalBackend`.  A durable job journal
 (:mod:`repro.cluster.journal`) makes ``repro coordinator --resume``
-replay state after a crash without re-executing completed specs.
+replay state after a crash without re-executing completed specs —
+with periodic compaction keeping that replay O(live jobs).  A
+:class:`~repro.cluster.supervisor.WorkerSupervisor`
+(:mod:`repro.cluster.supervisor`) can autoscale and self-heal a local
+worker fleet, and :mod:`repro.cluster.chaos` injects deterministic
+faults for testing all of the above.
 
 See ``docs/cluster.md`` for topology, frame and failure semantics.
 """
 
+from repro.cluster.chaos import ChaosError, ChaosMonkey
 from repro.cluster.journal import JobJournal, JournalState
 from repro.cluster.queue import WorkStealingQueue
+from repro.cluster.supervisor import WorkerSupervisor, process_spawner
 
-__all__ = ["JobJournal", "JournalState", "WorkStealingQueue"]
+__all__ = [
+    "ChaosError",
+    "ChaosMonkey",
+    "JobJournal",
+    "JournalState",
+    "WorkStealingQueue",
+    "WorkerSupervisor",
+    "process_spawner",
+]

@@ -53,7 +53,7 @@ class WorkItem:
     """One spec awaiting (or under) execution for one batch."""
 
     __slots__ = ("spec", "job_id", "sink", "batch_id", "abandoned",
-                 "delivered", "leased_at")
+                 "delivered", "leased_at", "requeues")
 
     def __init__(self, spec: ScenarioSpec, job_id: str, sink,
                  batch_id: str):
@@ -64,6 +64,10 @@ class WorkItem:
         self.abandoned = False
         self.delivered = False
         self.leased_at = 0.0      # loop time of the latest grant
+        # involuntary requeues only (worker death, undecodable result)
+        # — graceful lease releases are free.  Past max_spec_retries
+        # the spec is quarantined instead of requeued.
+        self.requeues = 0
 
 
 class WorkerHandle:
@@ -80,6 +84,10 @@ class WorkerHandle:
         self.leases: Dict[str, WorkItem] = {}
         self.connected = True
         self.completed = 0
+        # set when the worker sends a release frame: a draining worker
+        # gets no further grants, or its returned leases would bounce
+        # straight back to it
+        self.draining = False
 
     def status(self) -> Dict[str, Any]:
         return {
@@ -100,13 +108,21 @@ class ClusterPool:
     thread-safe sink queues results are delivered to.
     """
 
+    #: involuntary requeues one spec survives before quarantine.
+    DEFAULT_MAX_SPEC_RETRIES = 5
+
     def __init__(
         self,
         journal: Optional[JobJournal] = None,
         lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        max_spec_retries: Optional[int] = None,
     ):
         self.journal = journal
         self.lease_timeout_s = lease_timeout_s
+        self.max_spec_retries = (
+            self.DEFAULT_MAX_SPEC_RETRIES
+            if max_spec_retries is None else max(0, max_spec_retries)
+        )
         self.heartbeat_s = max(0.05, lease_timeout_s / 4.0)
         self.queue = WorkStealingQueue()
         self.workers: Dict[str, WorkerHandle] = {}
@@ -120,6 +136,8 @@ class ClusterPool:
         self._batch_counter = 0
         self.total_completed = 0
         self.total_requeued = 0
+        self.total_quarantined = 0
+        self.total_released = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -160,8 +178,16 @@ class ClusterPool:
             "inflight": sum(len(w.leases) for w in self.workers.values()),
             "completed": self.total_completed,
             "requeued": self.total_requeued,
+            "quarantined": self.total_quarantined,
+            "released": self.total_released,
             "steals": self.queue.steals,
         }
+
+    def backlog(self) -> int:
+        """Queued + in-flight specs — the autoscaler's demand signal."""
+        return self.queue.pending() + sum(
+            len(w.leases) for w in self.workers.values()
+        )
 
     # -- batches (PoolBackend face) ------------------------------------------
 
@@ -232,19 +258,93 @@ class ClusterPool:
         requeued = 0
         for item in worker.leases.values():
             if not item.abandoned and not item.delivered:
-                self.queue.push_front(item)
-                requeued += 1
+                if self._requeue_or_quarantine(item, front=True):
+                    requeued += 1
         worker.leases.clear()
         self.queue.remove_worker(worker_id)
-        self.total_requeued += requeued
         METRICS.counter("cluster.workers_lost").inc()
-        METRICS.counter("cluster.leases_requeued").inc(requeued)
         METRICS.gauge("cluster.workers").set(len(self.workers))
         if BUS.enabled:
             BUS.emit(_COMPONENT, "worker-lost", worker=worker_id,
                      name=worker.name, requeued=requeued)
         if not self.closed and (requeued or self.queue.pending()):
             self.loop.create_task(self.dispatch_all())
+
+    def _requeue_or_quarantine(self, item: WorkItem,
+                               front: bool) -> bool:
+        """Requeue an involuntarily-lost lease, or quarantine it.
+
+        Returns True when the item went back on the queue.  Each call
+        burns one retry; past ``max_spec_retries`` the spec is deemed
+        poisoned — it has now taken down (or confused) too many
+        workers — and is converted into a structured failure result so
+        the batch can finish instead of cycling the same landmine
+        through every worker the supervisor restarts.
+        """
+        item.requeues += 1
+        if item.requeues > self.max_spec_retries:
+            self._quarantine(item)
+            return False
+        if front:
+            self.queue.push_front(item)
+        else:
+            self.queue.push(item)
+        self.total_requeued += 1
+        METRICS.counter("cluster.leases_requeued").inc()
+        return True
+
+    def _quarantine(self, item: WorkItem) -> None:
+        """Deliver a poisoned spec as an error result, not a retry."""
+        spec = item.spec
+        result = ScenarioResult(
+            name=spec.name,
+            spec_hash=spec.content_hash,
+            params=dict(spec.params),
+            seed=spec.seed,
+            tags=tuple(sorted(spec.tags)),
+            status="error",
+            backend="cluster",
+            error=(
+                f"quarantined: requeued {item.requeues} times "
+                f"(max_spec_retries={self.max_spec_retries}) — "
+                "suspected poisoned spec (kills or wedges workers)"
+            ),
+        )
+        item.delivered = True
+        self.total_quarantined += 1
+        METRICS.counter("cluster.quarantined").inc()
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "quarantine", job_id=item.job_id,
+                     spec_hash=spec.content_hash,
+                     requeues=item.requeues)
+        item.sink.put(("result", result))
+        self._batch_done(item)
+
+    def release(self, worker: WorkerHandle,
+                lease_ids: List[str]) -> int:
+        """Take back leases a draining worker returns unstarted.
+
+        A graceful release goes to the *front* of the backlog (it was
+        already next in line) and does not count against the spec's
+        retry budget — the spec did nothing wrong.
+        """
+        worker.draining = True    # no more grants to this worker
+        returned = 0
+        for lease_id in lease_ids:
+            item = worker.leases.pop(lease_id, None)
+            if item is None:
+                continue
+            if not item.abandoned and not item.delivered:
+                self.queue.push_front(item)
+                returned += 1
+        self.total_released += returned
+        METRICS.counter("cluster.leases_released").inc(returned)
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "lease-release", worker=worker.id,
+                     released=returned)
+        if returned and not self.closed:
+            self.loop.create_task(self.dispatch_all())
+        return returned
 
     async def complete(self, worker: WorkerHandle, lease_id: str,
                        result_data: Mapping[str, Any]) -> None:
@@ -265,8 +365,7 @@ class ClusterPool:
                 # requeue it WITHOUT re-granting this worker, or a
                 # deterministic decode failure would spin at network
                 # speed (heartbeats re-pump idle workers instead)
-                self.queue.push(item)
-                self.total_requeued += 1
+                self._requeue_or_quarantine(item, front=False)
                 raise
             item.delivered = True
             worker.completed += 1
@@ -297,6 +396,7 @@ class ClusterPool:
         while (
             not self.closed
             and worker.connected
+            and not worker.draining
             and worker.id in self.workers
             and len(worker.leases) < worker.capacity
         ):
@@ -380,13 +480,21 @@ class ClusterCoordinator(ScenarioServer):
         max_pending: Optional[int] = None,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         warehouse=None,
+        max_spec_retries: Optional[int] = None,
+        compact_every: Optional[int] = None,
+        supervisor=None,
     ):
         self.journal = (
-            JobJournal(journal_path) if journal_path else None
+            JobJournal(journal_path, compact_every=compact_every)
+            if journal_path else None
         )
         self.pool = ClusterPool(
-            journal=self.journal, lease_timeout_s=lease_timeout_s
+            journal=self.journal, lease_timeout_s=lease_timeout_s,
+            max_spec_retries=max_spec_retries,
         )
+        #: optional :class:`repro.cluster.supervisor.WorkerSupervisor`
+        #: started/stopped with the coordinator.
+        self.supervisor = supervisor
         # every streamed result also lands as a warehouse row (journal
         # replays on --resume bypass _append_result, so no duplicates)
         if isinstance(warehouse, (str, Path)):
@@ -412,6 +520,8 @@ class ClusterCoordinator(ScenarioServer):
         if self._resume and self.journal is not None:
             self._restore(JobJournal.replay(self.journal.path))
             self.journal.record_resume()
+        if self.supervisor is not None:
+            self.supervisor.start(asyncio.get_running_loop(), self.pool)
 
     def _restore(self, state: JournalState) -> None:
         """Rebuild journaled jobs; resume the unfinished ones."""
@@ -441,6 +551,8 @@ class ClusterCoordinator(ScenarioServer):
             self._spawn(self._run_job(job))
 
     def request_stop(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.shutdown()
         self.pool.shutdown()
         if self.warehouse is not None:
             try:
@@ -485,7 +597,12 @@ class ClusterCoordinator(ScenarioServer):
             self.pool.worker_lost(worker.id)
 
     def _cluster_status(self) -> Optional[Dict[str, Any]]:
-        return self.pool.status()
+        status = self.pool.status()
+        if self.supervisor is not None:
+            status["supervisor"] = self.supervisor.status()
+        if self.journal is not None and self.journal.last_compaction:
+            status["last_compaction"] = dict(self.journal.last_compaction)
+        return status
 
     # -- worker frames ------------------------------------------------------
 
@@ -521,6 +638,16 @@ class ClusterCoordinator(ScenarioServer):
             # heartbeats double as a grant pump: an idle worker picks
             # up anything requeued since its last completion
             await self.pool._grant(worker)
+            return False
+        if type_ == "release":
+            # a draining worker returning unstarted leases; ack so the
+            # worker knows the hand-off landed before it exits
+            released = self.pool.release(
+                worker, [str(x) for x in message.get("leases", ())]
+            )
+            await self._send(
+                writer, lock, protocol.make_ack("release", released)
+            )
             return False
         # lease-result
         try:

@@ -23,11 +23,25 @@ results already banked, in completion order.  A torn final line — the
 signature of a crash mid-write — is tolerated and dropped.  Writes are
 flushed per record so an abrupt coordinator death loses at most the
 record being written.
+
+Compaction keeps replay O(live jobs) instead of O(history): every
+``compact_every`` appended records (or on an explicit
+:meth:`JobJournal.compact` call) the folded state is written as one
+atomic JSON **snapshot** beside the journal and the journal itself is
+swapped for a fresh tail holding only a ``{"e": "compacted",
+"gen": G}`` marker.  Replay loads the snapshot and folds just the
+tail.  The write order — snapshot to a temp file, fsync, atomic
+rename, *then* the journal swap — means a crash can never leave a
+torn snapshot installed; and if the snapshot is nonetheless
+missing/corrupt (or its generation does not match the tail marker),
+replay falls back to folding whatever the journal holds rather than
+failing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -90,37 +104,103 @@ class JournaledJob:
                 pending.append(spec)
         return pending
 
+    def to_snapshot(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "specs": [s.to_dict() for s in self.specs],
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Any]) -> "JournaledJob":
+        job = cls(
+            id=str(data["id"]),
+            specs=[ScenarioSpec.from_dict(s) for s in data["specs"]],
+            state=str(data.get("state", "running")),
+        )
+        for result in data.get("results", ()):
+            job.add_result(ScenarioResult.from_dict(result))
+        return job
+
 
 @dataclass
 class JournalState:
     """Everything :meth:`JobJournal.replay` recovers from a log."""
 
     jobs: Dict[str, JournaledJob] = field(default_factory=dict)
-    #: lease events as (job, spec_hash, worker) in log order.
+    #: lease events as (job, spec_hash, worker) in log order (tail
+    #: only after a compaction — the snapshot keeps no lease trail).
     leases: List[tuple] = field(default_factory=list)
     resumes: int = 0
     dropped_lines: int = 0
+    #: compaction generation this state descends from (0 = never).
+    generation: int = 0
+    #: True when a snapshot seeded the fold (tail-only journal read).
+    from_snapshot: bool = False
+    #: True when a tail marker referenced a snapshot that was missing
+    #: or unreadable — replay fell back to the tail journal alone.
+    torn_snapshot: bool = False
+    #: journal records actually folded (the O(live) replay-cost proof:
+    #: after a compaction this counts tail lines, not history).
+    replayed_records: int = 0
+    #: job-counter floor carried by the snapshot, so compacting away
+    #: old finished jobs can never recycle their ids.
+    job_number_floor: int = 0
+    #: at the *last* ``resume`` marker: how many leases had been
+    #: folded, and which spec hashes were already completed — the
+    #: zero-re-execution audit (scripts/check_no_reexecution.py).
+    leases_at_last_resume: int = 0
+    completed_at_last_resume: set = field(default_factory=set)
 
     def unfinished(self) -> List[JournaledJob]:
         return [j for j in self.jobs.values() if not j.finished]
 
     def max_job_number(self) -> int:
         """Highest ``job-N`` counter seen (0 when empty/unnumbered)."""
-        highest = 0
+        highest = self.job_number_floor
         for job_id in self.jobs:
             _prefix, _dash, tail = job_id.rpartition("-")
             if tail.isdigit():
                 highest = max(highest, int(tail))
         return highest
 
+    def leases_after_last_resume(self) -> List[tuple]:
+        return self.leases[self.leases_at_last_resume:]
+
 
 class JobJournal:
-    """The writer half: one coordinator appending to one JSONL file."""
+    """The writer half: one coordinator appending to one JSONL file.
 
-    def __init__(self, path: str | Path):
+    ``compact_every=N`` auto-compacts after every N appended records;
+    ``None``/0 leaves compaction to explicit :meth:`compact` calls.
+    ``keep_finished`` bounds how many finished jobs a snapshot retains
+    (mirroring the server's ``MAX_FINISHED_JOBS`` history cap), which
+    is what keeps snapshot size — and hence resume replay work —
+    proportional to *live* jobs.
+    """
+
+    SNAPSHOT_FORMAT = 1
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        compact_every: Optional[int] = None,
+        keep_finished: int = 64,
+    ):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.compact_every = compact_every or None
+        self.keep_finished = keep_finished
         self._fh: Optional[TextIO] = None
+        self._appended = 0
+        #: set by :meth:`compact`; surfaced in coordinator status.
+        self.last_compaction: Optional[Dict[str, Any]] = None
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".snapshot")
 
     def _write(self, event: Mapping[str, Any]) -> None:
         if self._fh is None:
@@ -128,6 +208,9 @@ class JobJournal:
         self._fh.write(json.dumps(dict(event), separators=(",", ":"),
                                   default=str) + "\n")
         self._fh.flush()
+        self._appended += 1
+        if self.compact_every and self._appended >= self.compact_every:
+            self.compact()
 
     # -- events -------------------------------------------------------------
 
@@ -159,27 +242,109 @@ class JobJournal:
             self._fh.close()
             self._fh = None
 
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> Dict[str, Any]:
+        """Fold the journal into an atomic snapshot + a fresh tail.
+
+        Ordering is the crash-safety argument: (1) the snapshot is
+        written to a temp file, fsynced, and atomically renamed into
+        place — a crash before the rename leaves the old snapshot (or
+        none) and the untouched full journal; (2) only then is the
+        journal swapped (same temp-write + rename) for a tail holding
+        just the ``compacted`` generation marker.  A crash between
+        (1) and (2) leaves a new snapshot whose generation the old
+        journal's marker does *not* carry, so replay ignores it and
+        folds the full journal — never wrong, merely uncompacted.
+        """
+        self.close()
+        state = self.replay(self.path)
+        generation = state.generation + 1
+        jobs = list(state.jobs.values())
+        finished = [j for j in jobs if j.finished]
+        drop = (
+            set()
+            if len(finished) <= self.keep_finished
+            else {j.id for j in finished[: len(finished)
+                                         - self.keep_finished]}
+        )
+        snapshot = {
+            "format": self.SNAPSHOT_FORMAT,
+            "generation": generation,
+            "t": time.time(),
+            "resumes": state.resumes,
+            "job_number_floor": state.max_job_number(),
+            "jobs": [
+                j.to_snapshot() for j in jobs if j.id not in drop
+            ],
+        }
+        self._replace(self.snapshot_path,
+                      json.dumps(snapshot, default=str))
+        marker = json.dumps(
+            {"e": "compacted", "gen": generation, "t": snapshot["t"]},
+            separators=(",", ":"),
+        )
+        self._replace(self.path, marker + "\n")
+        self._appended = 0
+        self.last_compaction = {
+            "t": snapshot["t"],
+            "generation": generation,
+            "live_jobs": len(state.unfinished()),
+            "snapshot_jobs": len(snapshot["jobs"]),
+            "dropped_finished_jobs": len(drop),
+        }
+        return self.last_compaction
+
+    @staticmethod
+    def _replace(path: Path, text: str) -> None:
+        """Write *text* to *path* via temp file + fsync + atomic rename."""
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
     # -- replay -------------------------------------------------------------
 
     @classmethod
     def replay(cls, path: str | Path) -> JournalState:
-        """Fold a journal file back into coordinator state.
+        """Fold a journal (snapshot + tail, or full log) back into state.
 
         Unparseable lines are counted and skipped: the only expected
         one is a torn final line from a crash mid-write, but a corrupt
         middle line must not take the whole recovery down either.
         Events for jobs with no ``submit`` record (lost to the same
         torn write) are likewise dropped.
+
+        The snapshot beside the journal is used only when its
+        generation matches the journal's leading ``compacted`` marker;
+        on any mismatch — torn snapshot, missing snapshot, crash
+        between snapshot rename and journal swap — replay falls back
+        to folding the journal alone.
         """
-        state = JournalState()
         path = Path(path)
+        state = JournalState()
         if not path.exists():
             return state
+        marker_gen = cls._peek_marker_generation(path)
+        if marker_gen is not None:
+            snapshot = cls._load_snapshot(
+                path.with_name(path.name + ".snapshot")
+            )
+            if snapshot is not None and snapshot.generation == marker_gen:
+                state = snapshot
+                state.from_snapshot = True
+            else:
+                # the tail says "I am generation N's tail" but no
+                # matching snapshot exists: tolerate, fold the tail
+                state.torn_snapshot = True
         with path.open() as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
+                state.replayed_records += 1
                 try:
                     event = json.loads(line)
                     kind = event["e"]
@@ -191,6 +356,42 @@ class JobJournal:
                 except (KeyError, TypeError, ValueError):
                     state.dropped_lines += 1
         return state
+
+    @staticmethod
+    def _peek_marker_generation(path: Path) -> Optional[int]:
+        """Generation of a leading ``compacted`` marker, else None."""
+        try:
+            with path.open() as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    if event.get("e") == "compacted":
+                        return int(event["gen"])
+                    return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return None
+
+    @classmethod
+    def _load_snapshot(cls, path: Path) -> Optional[JournalState]:
+        """A state seeded from a snapshot file; None if torn/absent."""
+        try:
+            data = json.loads(path.read_text())
+            if data.get("format") != cls.SNAPSHOT_FORMAT:
+                return None
+            state = JournalState(
+                generation=int(data["generation"]),
+                resumes=int(data.get("resumes", 0)),
+                job_number_floor=int(data.get("job_number_floor", 0)),
+            )
+            for job_data in data.get("jobs", ()):
+                job = JournaledJob.from_snapshot(job_data)
+                state.jobs[job.id] = job
+            return state
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
 
     @staticmethod
     def _fold(state: JournalState, kind: str,
@@ -215,4 +416,10 @@ class JobJournal:
                 job.state = event.get("state", "done")
         elif kind == "resume":
             state.resumes += 1
+            state.leases_at_last_resume = len(state.leases)
+            state.completed_at_last_resume = set()
+            for job in state.jobs.values():
+                state.completed_at_last_resume |= job.completed_hashes()
+        elif kind == "compacted":
+            state.generation = max(state.generation, int(event["gen"]))
         # unknown event kinds are ignored: forward compatibility

@@ -30,6 +30,7 @@ from repro.engine.results import ScenarioResult
 from repro.engine.spec import ScenarioSpec
 from repro.service import protocol
 from repro.service.backend import Backend, LocalBackend
+from repro.service.backoff import Backoff
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import ProtocolError
 from repro.telemetry.events import BUS, diag
@@ -61,6 +62,7 @@ class ClusterWorker:
         reconnects: int = 5,
         reconnect_delay_s: float = 1.0,
         quiet: bool = True,
+        chaos=None,
     ):
         self.host = host
         self.port = port
@@ -76,9 +78,14 @@ class ClusterWorker:
         self.reconnects = reconnects
         self.reconnect_delay_s = reconnect_delay_s
         self.quiet = quiet
+        #: optional :class:`repro.cluster.chaos.ChaosMonkey` whose
+        #: fire() calls gate the fault-injection hook points below.
+        self.chaos = chaos
         self.executed = 0
+        self.released = 0
         self.worker_id: Optional[str] = None
         self._stop = threading.Event()
+        self._drain = threading.Event()
         self._send_lock = threading.Lock()
         self._client: Optional[ServiceClient] = None
 
@@ -94,6 +101,14 @@ class ClusterWorker:
     #: alias: stopping *is* vanishing abruptly (the fault-injection
     #: tests use this name as the in-process stand-in for SIGKILL).
     kill = stop
+
+    def drain(self) -> None:
+        """Graceful exit: finish the in-flight lease, hand unstarted
+        leases back with a ``release`` frame, then stop.  This is the
+        SIGTERM path — the difference from :meth:`kill` is that the
+        coordinator gets the buffered leases back immediately instead
+        of waiting out the lease timeout."""
+        self._drain.set()
 
     def _drop_connection(self) -> None:
         client, self._client = self._client, None
@@ -111,24 +126,35 @@ class ClusterWorker:
         """Serve leases until stopped; returns specs executed.
 
         Reconnects up to ``reconnects`` times after a lost coordinator
-        (the budget resets on every successful registration), then
-        returns.
+        (the budget resets on every successful registration), pacing
+        retries with the shared jittered exponential backoff —
+        ``reconnect_delay_s`` is the base delay — so a restarted
+        coordinator is not stampeded by its whole fleet at once.
         """
         budget = self.reconnects
-        while not self._stop.is_set():
+        backoff = Backoff(base_s=self.reconnect_delay_s, max_s=30.0)
+        while not self._stop.is_set() and not self._drain.is_set():
             try:
                 self._serve_one_connection()
                 budget = self.reconnects
+                backoff.reset()
             except (ServiceError, OSError) as exc:
                 if self._stop.is_set():
                     break
                 self._log(f"connection lost: {exc}")
             finally:
                 self._drop_connection()
-            if self._stop.is_set() or budget <= 0:
+            if (self._stop.is_set() or self._drain.is_set()
+                    or budget <= 0):
                 break
             budget -= 1
-            time.sleep(self.reconnect_delay_s)
+            # interruptible backoff: a stop or drain signal landing
+            # mid-wait must not sit out a 30s reconnect delay
+            deadline = time.monotonic() + backoff.next_delay()
+            while (time.monotonic() < deadline
+                   and not self._drain.is_set()
+                   and not self._stop.wait(0.1)):
+                pass
         return self.executed
 
     def _serve_one_connection(self) -> None:
@@ -156,6 +182,9 @@ class ClusterWorker:
         pulse.start()
         try:
             while not self._stop.is_set():
+                if self._drain.is_set():
+                    self._graceful_release(client)
+                    return
                 try:
                     frame = client.recv()
                 except ServiceError as exc:
@@ -174,6 +203,49 @@ class ClusterWorker:
                     )
         finally:
             pulse.join(timeout=2.0)
+
+    def _graceful_release(self, client: ServiceClient) -> None:
+        """Drain exit: return every buffered (unstarted) lease.
+
+        Leases the coordinator pushed beyond the one just finished sit
+        decoded-but-unread in the client; a short read drains them
+        (the 0.5s recv timeout doubles as the \"no more buffered
+        frames\" signal), then one ``release`` frame hands them all
+        back so the coordinator can re-grant immediately instead of
+        waiting out the lease timeout.
+        """
+        leases = []
+        while True:
+            try:
+                frame = client.recv()
+            except ServiceError as exc:
+                if exc.code == "timeout":
+                    break
+                return  # connection already gone; timeout recovers them
+            if frame.get("type") == "lease" and frame.get("lease"):
+                leases.append(str(frame["lease"]))
+        if not leases:
+            return
+        self.released += len(leases)
+        METRICS.counter("worker.leases_released").inc(len(leases))
+        if BUS.enabled:
+            BUS.emit(_COMPONENT, "drain-release", worker=self.name,
+                     released=len(leases))
+        self._log(f"draining: releasing {len(leases)} unstarted leases")
+        try:
+            self._send(protocol.make_release(leases, self.worker_id))
+            # bounded wait for the ack so the hand-off lands before we
+            # close; a dead coordinator must not wedge the drain (the
+            # lease timeout recovers the specs either way)
+            for _ in range(10):
+                try:
+                    if client.recv().get("type") == "ack":
+                        break
+                except ServiceError as exc:
+                    if exc.code != "timeout":
+                        break
+        except (ServiceError, OSError):
+            pass
 
     def _await_frame(self, client: ServiceClient, wanted: str) -> dict:
         while True:
@@ -195,7 +267,12 @@ class ClusterWorker:
     def _heartbeat_loop(self, client: ServiceClient,
                         heartbeat_s: float) -> None:
         while not self._stop.is_set() and self._client is client:
-            time.sleep(heartbeat_s)
+            delay = (self.chaos.heartbeat_delay()
+                     if self.chaos is not None else 0.0)
+            time.sleep(heartbeat_s + delay)
+            if (self.chaos is not None
+                    and self.chaos.fire("skip-heartbeat")):
+                continue  # chaos: suppress this pulse
             try:
                 self._send(protocol.make_heartbeat(self.worker_id))
             except (ServiceError, OSError):
@@ -247,6 +324,13 @@ class ClusterWorker:
         self._log(
             f"{spec.name} -> {result.status} ({result.elapsed_s:.2f}s)"
         )
+        if (self.chaos is not None
+                and self.chaos.fire("kill-worker")):
+            # chaos: die with the result unsent and leases stranded —
+            # the in-schedule stand-in for SIGKILL mid-sweep
+            self._log("chaos: kill-worker fired; dying abruptly")
+            self.kill()
+            return
         try:
             self._send(
                 protocol.make_lease_result(lease_id, result.to_dict())
@@ -263,6 +347,14 @@ class ClusterWorker:
                     elapsed_s=result.elapsed_s,
                 ).to_dict(),
             ))
+        if (self.chaos is not None
+                and self.chaos.fire("drop-conn")):
+            # chaos: sever the link right after the result lands; the
+            # ordinary reconnect budget brings the worker back
+            self._log("chaos: drop-conn fired; severing connection")
+            raise ServiceError(
+                "chaos-drop", "connection dropped by chaos schedule"
+            )
 
     @staticmethod
     def _failure(
@@ -306,6 +398,11 @@ class BackgroundWorker:
 
     def kill(self) -> None:
         self.worker.kill()
+        self._thread.join(timeout=10)
+
+    def drain(self) -> None:
+        """SIGTERM stand-in: graceful drain, then wait for exit."""
+        self.worker.drain()
         self._thread.join(timeout=10)
 
     @property

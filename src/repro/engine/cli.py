@@ -280,6 +280,34 @@ def cmd_serve(args) -> int:
 def cmd_coordinator(args) -> int:
     from repro.cluster.coordinator import ClusterCoordinator
 
+    supervisor = None
+    if args.max_workers > 0:
+        from repro.cluster.supervisor import (
+            WorkerSupervisor, process_spawner,
+        )
+
+        # the children connect back to the listener we are about to
+        # start; port 0 (pick-a-free-port) cannot be supervised this
+        # way because the spawner needs the address up front
+        if args.port == 0:
+            print(
+                "error: --max-workers needs a fixed --port "
+                "(supervised workers dial back in)",
+                file=sys.stderr,
+            )
+            return 2
+        supervisor = WorkerSupervisor(
+            process_spawner(
+                f"{args.host}:{args.port}",
+                cache_dir=args.worker_cache_dir,
+                auth_token=_auth_token(args),
+            ),
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            specs_per_worker=args.specs_per_worker,
+            crash_threshold=args.crash_threshold,
+            crash_window_s=args.crash_window,
+        )
     server = ClusterCoordinator(
         host=args.host,
         port=args.port,
@@ -289,15 +317,25 @@ def cmd_coordinator(args) -> int:
         auth_token=_auth_token(args),
         max_pending=args.max_pending,
         warehouse=_warehouse_path(args),
+        max_spec_retries=args.max_spec_retries,
+        compact_every=args.compact_every,
+        supervisor=supervisor,
     )
     journal = "journal off" if args.no_journal else f"journal {args.journal}"
+    supervised = (
+        f", supervising {args.min_workers}-{args.max_workers} workers"
+        if supervisor is not None else ""
+    )
     return _run_listener(
         server, "coordinating scenarios",
-        f"{journal}, lease timeout {args.lease_timeout:g}s",
+        f"{journal}, lease timeout {args.lease_timeout:g}s{supervised}",
     )
 
 
 def cmd_worker(args) -> int:
+    import signal
+
+    from repro.cluster.chaos import ChaosError, ChaosMonkey
     from repro.cluster.worker import ClusterWorker, WorkerError
 
     try:
@@ -308,6 +346,12 @@ def cmd_worker(args) -> int:
     except ValueError:
         print(f"error: --connect needs host:port, got {args.connect!r}",
               file=sys.stderr)
+        return 2
+    try:
+        chaos = (ChaosMonkey.parse(args.chaos) if args.chaos
+                 else ChaosMonkey.from_env())
+    except ChaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     worker = ClusterWorker(
         host,
@@ -320,10 +364,27 @@ def cmd_worker(args) -> int:
         connect_retries=args.retry,
         reconnects=args.reconnects,
         quiet=args.quiet,
+        chaos=chaos,
     )
+
+    # first SIGTERM/SIGINT drains (finish the in-flight spec, release
+    # unstarted leases); a second one stops hard
+    def _on_signal(signum, _frame):
+        if worker._drain.is_set() or worker._stop.is_set():
+            worker.stop()
+        else:
+            worker.drain()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _on_signal)
+        except (ValueError, OSError):
+            pass  # non-main thread or exotic platform: skip
+
+    armed = f", chaos [{chaos.describe()}]" if chaos is not None else ""
     print(
         f"worker {worker.name} connecting to {host}:{port} "
-        f"(capacity {worker.capacity})",
+        f"(capacity {worker.capacity}{armed})",
         flush=True,
     )
     try:
@@ -334,7 +395,9 @@ def cmd_worker(args) -> int:
     except WorkerError as exc:
         print(f"coordinator refused this worker: {exc}", file=sys.stderr)
         return 2
-    print(f"worker {worker.name} stopped after {executed} specs")
+    drained = (f" (drained, released {worker.released} leases)"
+               if worker.released else "")
+    print(f"worker {worker.name} stopped after {executed} specs{drained}")
     return 0
 
 
@@ -775,6 +838,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds without a heartbeat before a worker's leases are "
         "requeued (default 30)",
     )
+    p_coord.add_argument(
+        "--compact-every", type=int, default=1000,
+        help="compact the journal into a snapshot every N records "
+        "(0 disables; default 1000)",
+    )
+    p_coord.add_argument(
+        "--max-spec-retries", type=int, default=5,
+        help="involuntary requeues before a spec is quarantined as a "
+        "structured failure (default 5)",
+    )
+    p_coord.add_argument(
+        "--min-workers", type=int, default=0,
+        help="supervised local workers to keep alive (with "
+        "--max-workers > 0 the coordinator spawns and heals its own "
+        "worker processes)",
+    )
+    p_coord.add_argument(
+        "--max-workers", type=int, default=0,
+        help="autoscale ceiling for supervised workers (0 disables "
+        "supervision; default 0)",
+    )
+    p_coord.add_argument(
+        "--specs-per-worker", type=int, default=4,
+        help="backlog specs per supervised worker before scaling up "
+        "(default 4)",
+    )
+    p_coord.add_argument(
+        "--crash-threshold", type=int, default=5,
+        help="worker deaths inside --crash-window before the slot is "
+        "declared crash-looped and no longer restarted (default 5)",
+    )
+    p_coord.add_argument(
+        "--crash-window", type=float, default=60.0,
+        help="seconds of history the crash-loop detector considers "
+        "(default 60)",
+    )
+    p_coord.add_argument(
+        "--worker-cache-dir", default=".repro_cache/workers",
+        help="result-cache root for supervised workers (one subdir "
+        "per slot)",
+    )
     add_listener_hardening(p_coord)
     add_warehouse(p_coord)
     p_coord.set_defaults(fn=cmd_coordinator)
@@ -818,6 +922,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument(
         "--reconnects", type=int, default=5,
         help="reconnect attempts after losing the coordinator",
+    )
+    p_worker.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault-injection schedule, e.g. "
+        "'seed=42,kill-worker@3,drop-conn@5' (falls back to the "
+        "REPRO_CHAOS env var)",
     )
     p_worker.add_argument("--quiet", action="store_true")
     p_worker.set_defaults(fn=cmd_worker)

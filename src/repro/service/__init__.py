@@ -29,6 +29,7 @@ from repro.service.backend import (
     RemoteBackend,
     make_service_backend,
 )
+from repro.service.backoff import Backoff, jittered_delay
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -47,6 +48,7 @@ from repro.service.shard import (
 
 __all__ = [
     "Backend",
+    "Backoff",
     "BackgroundServer",
     "FrameDecoder",
     "LocalBackend",
@@ -58,6 +60,7 @@ __all__ = [
     "ServiceError",
     "expand_specs",
     "expand_sweep",
+    "jittered_delay",
     "make_service_backend",
     "merge_results",
     "parse_shard",

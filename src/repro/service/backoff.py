@@ -1,0 +1,85 @@
+"""Jittered exponential backoff, shared by every reconnecting peer.
+
+One formula, three consumers: the client's ``busy`` submit retry, the
+worker's coordinator-reconnect loop, and the supervisor's
+restart-after-death policy.  The delay for attempt *n* is::
+
+    min(max_s, base_s * factor ** n) * uniform(1 - jitter, 1)
+
+i.e. an exponential ramp with a hard ceiling, scaled by a uniform
+jitter factor so a burst of peers disconnected by the same event does
+not re-stampede the listener in lockstep.  With the default
+``jitter=0.5`` the factor is drawn from [0.5, 1.0) — the distribution
+the client's busy retry has always used.
+
+The RNG is injectable: the chaos harness and the supervisor tests pass
+a seeded ``random.Random`` so backoff schedules are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = ["Backoff", "jittered_delay"]
+
+
+def jittered_delay(
+    attempt: int,
+    base_s: float,
+    max_s: float,
+    *,
+    factor: float = 2.0,
+    jitter: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Delay before retry *attempt* (0-based), jittered and capped."""
+    raw = min(max_s, base_s * factor ** max(0, attempt))
+    if jitter <= 0:
+        return raw
+    draw = (rng or random).random()
+    return raw * (1.0 - jitter + jitter * draw)
+
+
+class Backoff:
+    """A stateful retry pacer: ``next_delay()`` per failure, ``reset()``
+    on success.
+
+    The attempt counter only ever moves forward between resets, so a
+    peer that keeps failing ramps to the ceiling and stays there;
+    a success (``reset``) drops it back to the base.
+    """
+
+    def __init__(
+        self,
+        base_s: float = 0.1,
+        max_s: float = 5.0,
+        *,
+        factor: float = 2.0,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ):
+        self.base_s = float(base_s)
+        self.max_s = float(max_s)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self.rng = rng
+        self.attempt = 0
+
+    def peek(self, attempt: Optional[int] = None) -> float:
+        """The delay for *attempt* without advancing the counter."""
+        if attempt is None:
+            attempt = self.attempt
+        return jittered_delay(
+            attempt, self.base_s, self.max_s,
+            factor=self.factor, jitter=self.jitter, rng=self.rng,
+        )
+
+    def next_delay(self) -> float:
+        """The delay for the current attempt; advances the counter."""
+        delay = self.peek(self.attempt)
+        self.attempt += 1
+        return delay
+
+    def reset(self) -> None:
+        self.attempt = 0

@@ -9,7 +9,6 @@ not an event loop.  Framing is shared with the server via
 
 from __future__ import annotations
 
-import random
 import socket
 import time
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
@@ -17,6 +16,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 from repro.engine.results import ScenarioResult
 from repro.engine.spec import ScenarioSpec
 from repro.service import protocol
+from repro.service.backoff import jittered_delay
 from repro.service.protocol import FrameDecoder, ProtocolError
 
 
@@ -34,8 +34,9 @@ class ServiceClient:
     """One connection speaking the JSON-lines protocol."""
 
     #: ``busy`` backoff: attempts beyond the first submit, base delay,
-    #: and the ceiling one sleep may reach.  Each delay is the
-    #: exponential base times a uniform jitter in [0.5, 1.0), so a
+    #: and the ceiling one sleep may reach.  Delays come from the
+    #: shared :func:`repro.service.backoff.jittered_delay` helper —
+    #: exponential base times a uniform jitter in [0.5, 1.0) — so a
     #: burst of rejected clients doesn't re-stampede in lockstep.
     BUSY_RETRIES = 6
     BUSY_BASE_DELAY_S = 0.1
@@ -173,11 +174,9 @@ class ServiceClient:
             except ServiceError as exc:
                 if exc.code != "busy" or attempt >= self.busy_retries:
                     raise
-                delay = min(
-                    self.BUSY_MAX_DELAY_S,
-                    self.BUSY_BASE_DELAY_S * (2 ** attempt),
-                ) * (0.5 + random.random() / 2)
-                time.sleep(delay)
+                time.sleep(jittered_delay(
+                    attempt, self.BUSY_BASE_DELAY_S, self.BUSY_MAX_DELAY_S
+                ))
         if ack.get("type") != "ack":
             raise ServiceError(
                 "protocol",

@@ -11,8 +11,9 @@ client → server (``submit``, ``status``, ``stream``, ``cancel``,
 
 Cluster workers speak the same framing in the other direction: a
 worker opens a connection to the coordinator and sends ``register``,
-``heartbeat`` and ``lease-result`` frames; the coordinator pushes
-``registered`` and ``lease`` frames back down the same connection.
+``heartbeat``, ``lease-result`` and (when draining gracefully)
+``release`` frames; the coordinator pushes ``registered`` and
+``lease`` frames back down the same connection.
 When a listener is started with a shared-secret auth token, every
 inbound request frame must carry a matching ``"token"`` field;
 :func:`check_token` is the (timing-safe) gate.
@@ -41,7 +42,9 @@ REQUEST_TYPES = frozenset(
 )
 #: frames a cluster worker sends its coordinator (same direction as
 #: client requests: inbound on the listener).
-WORKER_REQUEST_TYPES = frozenset({"register", "heartbeat", "lease-result"})
+WORKER_REQUEST_TYPES = frozenset(
+    {"register", "heartbeat", "lease-result", "release"}
+)
 RESPONSE_TYPES = frozenset(
     {"ack", "result", "done", "status-reply", "error", "pong", "bye",
      "registered", "lease"}
@@ -322,6 +325,19 @@ def make_heartbeat(worker: Optional[str] = None) -> Dict[str, Any]:
     return _message("heartbeat", worker=worker)
 
 
+def make_release(
+    leases: Sequence[str], worker: Optional[str] = None
+) -> Dict[str, Any]:
+    """A draining worker handing unstarted leases straight back.
+
+    The graceful counterpart to a connection drop: the coordinator
+    requeues the named leases immediately instead of waiting for the
+    lease timeout to expire them.
+    """
+    return _message("release", leases=[str(x) for x in leases],
+                    worker=worker)
+
+
 # -- shared-secret auth -----------------------------------------------------
 
 
@@ -432,6 +448,15 @@ def validate_request(message: Mapping[str, Any]) -> str:
         if not isinstance(message.get("result"), dict):
             raise ProtocolError(
                 "bad-message", "lease-result needs a 'result' object"
+            )
+    elif type_ == "release":
+        leases = message.get("leases")
+        if not isinstance(leases, list) or not all(
+            isinstance(x, str) for x in leases
+        ):
+            raise ProtocolError(
+                "bad-message", "release needs a 'leases' list of id "
+                "strings"
             )
     return type_
 

@@ -1,0 +1,79 @@
+"""The shared jittered-exponential-backoff policy, in isolation."""
+
+import random
+
+import pytest
+
+from repro.service.backoff import Backoff, jittered_delay
+
+
+class TestJitteredDelay:
+    def test_no_jitter_is_plain_capped_exponential(self):
+        delays = [
+            jittered_delay(a, 0.1, 5.0, jitter=0.0) for a in range(8)
+        ]
+        assert delays[:4] == [0.1, 0.2, 0.4, 0.8]
+        assert delays[-1] == 5.0  # ceiling holds
+
+    def test_jitter_scales_into_the_documented_band(self):
+        rng = random.Random(7)
+        for attempt in range(6):
+            raw = min(5.0, 0.1 * 2 ** attempt)
+            delay = jittered_delay(attempt, 0.1, 5.0, rng=rng)
+            # default jitter=0.5 draws from [0.5, 1.0) of the raw delay
+            assert 0.5 * raw <= delay < raw
+
+    def test_seeded_rng_makes_the_schedule_reproducible(self):
+        first = [
+            jittered_delay(a, 0.1, 5.0, rng=random.Random(42))
+            for a in range(5)
+        ]
+        second = [
+            jittered_delay(a, 0.1, 5.0, rng=random.Random(42))
+            for a in range(5)
+        ]
+        assert first == second
+
+    def test_negative_attempt_clamps_to_base(self):
+        assert jittered_delay(-3, 0.2, 5.0, jitter=0.0) == 0.2
+
+
+class TestBackoff:
+    def test_ramps_then_resets(self):
+        backoff = Backoff(base_s=0.1, max_s=5.0, jitter=0.0)
+        assert [backoff.next_delay() for _ in range(3)] == [0.1, 0.2, 0.4]
+        backoff.reset()
+        assert backoff.next_delay() == 0.1
+
+    def test_peek_does_not_advance(self):
+        backoff = Backoff(base_s=0.1, max_s=5.0, jitter=0.0)
+        assert backoff.peek() == backoff.peek() == 0.1
+        assert backoff.attempt == 0
+
+    def test_sticks_at_the_ceiling(self):
+        backoff = Backoff(base_s=1.0, max_s=4.0, jitter=0.0)
+        delays = [backoff.next_delay() for _ in range(6)]
+        assert delays[-3:] == [4.0, 4.0, 4.0]
+
+    def test_injected_rng_is_used(self):
+        a = Backoff(base_s=0.1, max_s=5.0, rng=random.Random(3))
+        b = Backoff(base_s=0.1, max_s=5.0, rng=random.Random(3))
+        assert [a.next_delay() for _ in range(4)] == [
+            b.next_delay() for _ in range(4)
+        ]
+
+
+class TestSharedConsumers:
+    def test_client_busy_retry_goes_through_the_shared_helper(self):
+        from repro.service import client as client_mod
+
+        assert client_mod.jittered_delay is jittered_delay
+
+    def test_worker_reconnect_uses_backoff(self):
+        import inspect
+
+        from repro.cluster import worker as worker_mod
+
+        assert worker_mod.Backoff is Backoff
+        source = inspect.getsource(worker_mod.ClusterWorker.run)
+        assert "backoff.next_delay()" in source
