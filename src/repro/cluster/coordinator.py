@@ -48,6 +48,42 @@ DEFAULT_LEASE_TIMEOUT_S = 30.0
 
 _COMPONENT = "cluster.coordinator"
 
+#: involuntary requeues one spec survives before quarantine (shared by
+#: the pool scheduler and the federation front).
+DEFAULT_MAX_SPEC_RETRIES = 5
+
+
+def quarantine_result(
+    spec: ScenarioSpec,
+    requeues: int,
+    max_retries: int,
+    *,
+    backend: str = "cluster",
+    suspect: str = "workers",
+) -> ScenarioResult:
+    """A poisoned spec's structured failure result.
+
+    Shared by :class:`ClusterPool` (a spec that keeps killing workers)
+    and the federation front (a spec that keeps killing whole pools):
+    past the retry budget the spec terminates as an ``error`` result
+    instead of cycling through every replacement the supervisor or
+    breaker brings up.
+    """
+    return ScenarioResult(
+        name=spec.name,
+        spec_hash=spec.content_hash,
+        params=dict(spec.params),
+        seed=spec.seed,
+        tags=tuple(sorted(spec.tags)),
+        status="error",
+        backend=backend,
+        error=(
+            f"quarantined: requeued {requeues} times "
+            f"(max_spec_retries={max_retries}) — suspected poisoned "
+            f"spec (kills or wedges {suspect})"
+        ),
+    )
+
 
 class WorkItem:
     """One spec awaiting (or under) execution for one batch."""
@@ -109,13 +145,14 @@ class ClusterPool:
     """
 
     #: involuntary requeues one spec survives before quarantine.
-    DEFAULT_MAX_SPEC_RETRIES = 5
+    DEFAULT_MAX_SPEC_RETRIES = DEFAULT_MAX_SPEC_RETRIES
 
     def __init__(
         self,
         journal: Optional[JobJournal] = None,
         lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
         max_spec_retries: Optional[int] = None,
+        chaos=None,
     ):
         self.journal = journal
         self.lease_timeout_s = lease_timeout_s
@@ -123,6 +160,10 @@ class ClusterPool:
             self.DEFAULT_MAX_SPEC_RETRIES
             if max_spec_retries is None else max(0, max_spec_retries)
         )
+        #: optional :class:`repro.cluster.chaos.ChaosMonkey`; the
+        #: ``kill-pool`` trigger is counted per granted lease and takes
+        #: the whole coordinator process down abruptly.
+        self.chaos = chaos
         self.heartbeat_s = max(0.05, lease_timeout_s / 4.0)
         self.queue = WorkStealingQueue()
         self.workers: Dict[str, WorkerHandle] = {}
@@ -296,19 +337,9 @@ class ClusterPool:
     def _quarantine(self, item: WorkItem) -> None:
         """Deliver a poisoned spec as an error result, not a retry."""
         spec = item.spec
-        result = ScenarioResult(
-            name=spec.name,
-            spec_hash=spec.content_hash,
-            params=dict(spec.params),
-            seed=spec.seed,
-            tags=tuple(sorted(spec.tags)),
-            status="error",
-            backend="cluster",
-            error=(
-                f"quarantined: requeued {item.requeues} times "
-                f"(max_spec_retries={self.max_spec_retries}) — "
-                "suspected poisoned spec (kills or wedges workers)"
-            ),
+        result = quarantine_result(
+            spec, item.requeues, self.max_spec_retries,
+            backend="cluster", suspect="workers",
         )
         item.delivered = True
         self.total_quarantined += 1
@@ -436,6 +467,19 @@ class ClusterPool:
                     ProtocolError):
                 self.worker_lost(worker.id)
                 return
+            if (self.chaos is not None
+                    and self.chaos.fire("kill-pool")):
+                # chaos: the whole pool dies abruptly at this grant —
+                # the in-schedule stand-in for SIGKILLing a federated
+                # pool (no farewell frames, journal left mid-job)
+                import os as _os
+                import sys as _sys
+
+                print(
+                    f"chaos: kill-pool firing at lease {lease_id}",
+                    file=_sys.stderr, flush=True,
+                )
+                _os._exit(86)
 
     async def _monitor(self) -> None:
         """Expire leases of workers that stopped heartbeating."""
@@ -465,63 +509,58 @@ class ClusterPool:
             pass
 
 
-class ClusterCoordinator(ScenarioServer):
-    """A :class:`ScenarioServer` that executes through worker leases."""
+class JournaledServer(ScenarioServer):
+    """A :class:`ScenarioServer` whose jobs survive a crash.
+
+    The shared durability layer under both the cluster coordinator and
+    the federation front (:mod:`repro.cluster.federation`): every job
+    transition lands in the :class:`JobJournal`, every streamed result
+    optionally lands as a warehouse row, and ``resume=True`` replays
+    the journal on startup — finished jobs restored for late
+    ``status``/``stream`` requests, unfinished jobs re-entered with
+    only their *pending* specs, so journal-completed specs are never
+    re-executed.
+    """
 
     def __init__(
         self,
-        host: str = DEFAULT_HOST,
-        port: int = DEFAULT_PORT,
+        backend,
         *,
-        journal_path: Optional[str] = None,
+        journal: Optional[JobJournal] = None,
         resume: bool = False,
-        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
-        auth_token: Optional[str] = None,
-        max_pending: Optional[int] = None,
-        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         warehouse=None,
-        max_spec_retries: Optional[int] = None,
-        compact_every: Optional[int] = None,
-        supervisor=None,
+        warehouse_source: str = "coordinator",
+        **server_kwargs,
     ):
-        self.journal = (
-            JobJournal(journal_path, compact_every=compact_every)
-            if journal_path else None
-        )
-        self.pool = ClusterPool(
-            journal=self.journal, lease_timeout_s=lease_timeout_s,
-            max_spec_retries=max_spec_retries,
-        )
-        #: optional :class:`repro.cluster.supervisor.WorkerSupervisor`
-        #: started/stopped with the coordinator.
-        self.supervisor = supervisor
+        self.journal = journal
         # every streamed result also lands as a warehouse row (journal
         # replays on --resume bypass _append_result, so no duplicates)
         if isinstance(warehouse, (str, Path)):
             from repro.telemetry.warehouse import ResultsWarehouse
 
-            warehouse = ResultsWarehouse(warehouse, source="coordinator")
+            warehouse = ResultsWarehouse(warehouse,
+                                         source=warehouse_source)
         self.warehouse = warehouse
-        super().__init__(
-            PoolBackend(self.pool),
-            host=host,
-            port=port,
-            max_frame_bytes=max_frame_bytes,
-            auth_token=auth_token,
-            max_pending=max_pending,
-        )
+        super().__init__(backend, **server_kwargs)
         self._resume = resume
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
         await super().start()
-        self.pool.start(asyncio.get_running_loop())
+        self._serving_started(asyncio.get_running_loop())
         if self._resume and self.journal is not None:
             self._restore(JobJournal.replay(self.journal.path))
             self.journal.record_resume()
-        if self.supervisor is not None:
-            self.supervisor.start(asyncio.get_running_loop(), self.pool)
+
+    def _serving_started(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Hook: the listener is up, the restore has not run yet —
+        start whatever executes restored batches (pool, federation)."""
+
+    def _interrupted(self) -> bool:
+        """Hook: True once execution stopped mid-flight — a job ending
+        now is an interruption to resume, not an outcome to journal."""
+        return False
 
     def _restore(self, state: JournalState) -> None:
         """Rebuild journaled jobs; resume the unfinished ones."""
@@ -551,9 +590,6 @@ class ClusterCoordinator(ScenarioServer):
             self._spawn(self._run_job(job))
 
     def request_stop(self) -> None:
-        if self.supervisor is not None:
-            self.supervisor.shutdown()
-        self.pool.shutdown()
         if self.warehouse is not None:
             try:
                 self.warehouse.close()
@@ -562,11 +598,6 @@ class ClusterCoordinator(ScenarioServer):
         super().request_stop()
 
     # -- server hooks -------------------------------------------------------
-
-    def _job_batches(self, specs, shards):
-        # the pool leases spec-by-spec; shard batching would only
-        # serialize the fan-out, so a cluster job is always one batch
-        return [list(specs)]
 
     def _job_created(self, job: Job) -> None:
         if self.journal is not None:
@@ -585,11 +616,81 @@ class ClusterCoordinator(ScenarioServer):
         super()._append_result(job, result)
 
     def _job_finished(self, job: Job) -> None:
-        # a pool shutdown mid-job is an interruption, not an outcome:
+        # a shutdown mid-job is an interruption, not an outcome:
         # leaving the journal without a job-done record is exactly what
         # lets --resume pick the job back up
-        if self.journal is not None and not self.pool.closed:
+        if self.journal is not None and not self._interrupted():
             self.journal.record_job_done(job.id, job.state)
+
+
+class ClusterCoordinator(JournaledServer):
+    """A :class:`ScenarioServer` that executes through worker leases."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        journal_path: Optional[str] = None,
+        resume: bool = False,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        auth_token: Optional[str] = None,
+        max_pending: Optional[int] = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        warehouse=None,
+        max_spec_retries: Optional[int] = None,
+        compact_every: Optional[int] = None,
+        supervisor=None,
+        chaos=None,
+    ):
+        journal = (
+            JobJournal(journal_path, compact_every=compact_every)
+            if journal_path else None
+        )
+        self.pool = ClusterPool(
+            journal=journal, lease_timeout_s=lease_timeout_s,
+            max_spec_retries=max_spec_retries, chaos=chaos,
+        )
+        #: optional :class:`repro.cluster.supervisor.WorkerSupervisor`
+        #: started/stopped with the coordinator.
+        self.supervisor = supervisor
+        super().__init__(
+            PoolBackend(self.pool),
+            journal=journal,
+            resume=resume,
+            warehouse=warehouse,
+            host=host,
+            port=port,
+            max_frame_bytes=max_frame_bytes,
+            auth_token=auth_token,
+            max_pending=max_pending,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        await super().start()
+        if self.supervisor is not None:
+            self.supervisor.start(asyncio.get_running_loop(), self.pool)
+
+    def _serving_started(self, loop: asyncio.AbstractEventLoop) -> None:
+        self.pool.start(loop)
+
+    def _interrupted(self) -> bool:
+        return self.pool.closed
+
+    def request_stop(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.shutdown()
+        self.pool.shutdown()
+        super().request_stop()
+
+    # -- server hooks -------------------------------------------------------
+
+    def _job_batches(self, specs, shards):
+        # the pool leases spec-by-spec; shard batching would only
+        # serialize the fan-out, so a cluster job is always one batch
+        return [list(specs)]
 
     def _connection_closed(self, writer) -> None:
         worker = self.pool.worker_for_writer(writer)

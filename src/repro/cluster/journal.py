@@ -10,6 +10,12 @@ Every state transition the coordinator must survive is one JSON line:
     derived from submit minus complete, but the lease trail is what
     the crash-resume tests use to prove completed specs never run
     again);
+``{"e": "assign", "job": .., "spec": <hash>, "pool": ..}``
+    the federation front granted a spec to a peer coordinator pool —
+    the cross-hop analogue of ``lease``, folded into the same lease
+    trail (with ``pool:<name>`` in the worker slot) so
+    ``scripts/check_no_reexecution.py`` audits a front journal
+    unchanged;
 ``{"e": "complete", "job": .., "result": {..}}``
     a :class:`ScenarioResult` landed;
 ``{"e": "job-done", "job": .., "state": "done"|"cancelled"|"error"}``
@@ -42,6 +48,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass, field
@@ -129,8 +136,9 @@ class JournalState:
     """Everything :meth:`JobJournal.replay` recovers from a log."""
 
     jobs: Dict[str, JournaledJob] = field(default_factory=dict)
-    #: lease events as (job, spec_hash, worker) in log order (tail
-    #: only after a compaction — the snapshot keeps no lease trail).
+    #: lease/assign events as (job, spec_hash, worker-or-pool) in log
+    #: order (tail only after a compaction — the snapshot keeps no
+    #: lease trail); federation pool grants carry ``pool:<name>``.
     leases: List[tuple] = field(default_factory=list)
     resumes: int = 0
     dropped_lines: int = 0
@@ -195,6 +203,10 @@ class JobJournal:
         self.keep_finished = keep_finished
         self._fh: Optional[TextIO] = None
         self._appended = 0
+        #: a federation front appends from forwarder threads while the
+        #: event loop journals completions; reentrant because _write
+        #: may auto-compact (which re-enters the lock).
+        self._lock = threading.RLock()
         #: set by :meth:`compact`; surfaced in coordinator status.
         self.last_compaction: Optional[Dict[str, Any]] = None
 
@@ -203,14 +215,15 @@ class JobJournal:
         return self.path.with_name(self.path.name + ".snapshot")
 
     def _write(self, event: Mapping[str, Any]) -> None:
-        if self._fh is None:
-            self._fh = self.path.open("a")
-        self._fh.write(json.dumps(dict(event), separators=(",", ":"),
-                                  default=str) + "\n")
-        self._fh.flush()
-        self._appended += 1
-        if self.compact_every and self._appended >= self.compact_every:
-            self.compact()
+        with self._lock:
+            if self._fh is None:
+                self._fh = self.path.open("a")
+            self._fh.write(json.dumps(dict(event), separators=(",", ":"),
+                                      default=str) + "\n")
+            self._fh.flush()
+            self._appended += 1
+            if self.compact_every and self._appended >= self.compact_every:
+                self.compact()
 
     # -- events -------------------------------------------------------------
 
@@ -227,6 +240,12 @@ class JobJournal:
         self._write({"e": "lease", "job": job_id, "spec": spec_hash,
                      "worker": worker})
 
+    def record_assign(self, job_id: str, spec_hash: str,
+                      pool: str) -> None:
+        """A federation front granted a spec to a peer pool."""
+        self._write({"e": "assign", "job": job_id, "spec": spec_hash,
+                     "pool": pool})
+
     def record_complete(self, job_id: str, result: ScenarioResult) -> None:
         self._write({"e": "complete", "job": job_id,
                      "result": result.to_dict()})
@@ -238,9 +257,10 @@ class JobJournal:
         self._write({"e": "resume", "t": time.time()})
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
 
     # -- compaction ---------------------------------------------------------
 
@@ -257,6 +277,10 @@ class JobJournal:
         journal's marker does *not* carry, so replay ignores it and
         folds the full journal — never wrong, merely uncompacted.
         """
+        with self._lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Dict[str, Any]:
         self.close()
         state = self.replay(self.path)
         generation = state.generation + 1
@@ -405,6 +429,13 @@ class JobJournal:
         elif kind == "lease":
             state.leases.append(
                 (event["job"], event["spec"], event.get("worker", ""))
+            )
+        elif kind == "assign":
+            # a federation pool grant joins the lease trail so the
+            # no-re-execution audit sees cross-hop grants too
+            state.leases.append(
+                (event["job"], event["spec"],
+                 f"pool:{event.get('pool', '')}")
             )
         elif kind == "complete":
             job = state.jobs.get(event["job"])

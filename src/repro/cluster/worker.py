@@ -162,6 +162,9 @@ class ClusterWorker:
             self.host,
             self.port,
             timeout=0.5,  # short poll so stop() is honored promptly
+            # the dial gets its own (looser) bound: the 0.5s poll is a
+            # read cadence, not a sane limit for TCP setup under load
+            connect_timeout=5.0,
             retries=self.connect_retries,
             retry_delay_s=self.retry_delay_s,
             auth_token=self.auth_token,

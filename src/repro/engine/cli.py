@@ -278,8 +278,16 @@ def cmd_serve(args) -> int:
 
 
 def cmd_coordinator(args) -> int:
+    from repro.cluster.chaos import ChaosError, ChaosMonkey
     from repro.cluster.coordinator import ClusterCoordinator
 
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosMonkey.parse(args.chaos)
+        except ChaosError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     supervisor = None
     if args.max_workers > 0:
         from repro.cluster.supervisor import (
@@ -320,15 +328,52 @@ def cmd_coordinator(args) -> int:
         max_spec_retries=args.max_spec_retries,
         compact_every=args.compact_every,
         supervisor=supervisor,
+        chaos=chaos,
     )
     journal = "journal off" if args.no_journal else f"journal {args.journal}"
     supervised = (
         f", supervising {args.min_workers}-{args.max_workers} workers"
         if supervisor is not None else ""
     )
+    armed = f", chaos [{chaos.describe()}]" if chaos is not None else ""
     return _run_listener(
         server, "coordinating scenarios",
-        f"{journal}, lease timeout {args.lease_timeout:g}s{supervised}",
+        f"{journal}, lease timeout {args.lease_timeout:g}s"
+        f"{supervised}{armed}",
+    )
+
+
+def cmd_federate(args) -> int:
+    from repro.cluster.federation import FederatedCoordinator
+
+    pools = []
+    for entry in args.pool or ():
+        host, _colon, port = entry.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: --pool {entry!r} must be HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        pools.append((host, int(port)))
+    server = FederatedCoordinator(
+        host=args.host,
+        port=args.port,
+        pools=pools,
+        journal_path=None if args.no_journal else args.journal,
+        resume=args.resume,
+        auth_token=_auth_token(args),
+        max_pending=args.max_pending,
+        warehouse=_warehouse_path(args),
+        max_spec_retries=args.max_spec_retries,
+        compact_every=args.compact_every,
+        chunk_specs=args.chunk_specs,
+        probe_interval_s=args.probe_interval,
+        failure_threshold=args.failure_threshold,
+    )
+    journal = "journal off" if args.no_journal else f"journal {args.journal}"
+    return _run_listener(
+        server, "federating scenarios",
+        f"{journal}, {len(pools)} pools, "
+        f"probe every {args.probe_interval:g}s",
     )
 
 
@@ -433,11 +478,20 @@ def cmd_cache(args) -> int:
 
 
 def cmd_status(args) -> int:
-    """Poll a listener's status frame: jobs + live metrics (+ cluster)."""
+    """Poll a listener's status frame: jobs + live metrics (+ cluster).
+
+    Under ``--watch`` a dropped listener is not fatal: the poll keeps
+    retrying with jittered exponential backoff (so a restarting
+    coordinator isn't stampeded) and prints a one-line stderr notice
+    when it reattaches.
+    """
     import time
 
+    from repro.service.backoff import Backoff
     from repro.service.client import ServiceClient, ServiceError
 
+    backoff = Backoff(base_s=max(0.5, args.interval / 2), max_s=30.0)
+    disconnected = False
     try:
         while True:
             try:
@@ -447,8 +501,23 @@ def cmd_status(args) -> int:
                 ) as client:
                     snapshot = client.status_full(args.job)
             except ServiceError as exc:
-                print(f"service error: {exc}", file=sys.stderr)
-                return 2
+                if not args.watch:
+                    print(f"service error: {exc}", file=sys.stderr)
+                    return 2
+                if not disconnected:
+                    print(
+                        f"watch: lost {args.host}:{args.port} ({exc}); "
+                        "retrying with backoff",
+                        file=sys.stderr, flush=True,
+                    )
+                    disconnected = True
+                time.sleep(backoff.next_delay())
+                continue
+            if disconnected:
+                print(f"watch: reattached to {args.host}:{args.port}",
+                      file=sys.stderr, flush=True)
+                disconnected = False
+                backoff.reset()
             print(json.dumps(snapshot, indent=1, sort_keys=True),
                   flush=True)
             if not args.watch:
@@ -555,9 +624,12 @@ def cmd_submit(args) -> int:
     from repro.service.client import ServiceClient, ServiceError
 
     selection = bool(args.tags or args.names)
-    if not selection and not args.shutdown and not args.attach:
+    if (not selection and not args.shutdown and not args.attach
+            and not args.pool):
         print("no scenarios selected (use --tags/--names, --attach JOB "
-              "to re-stream a job, or --shutdown to stop the server)",
+              "to re-stream a job, --pool HOST:PORT to attach a pool "
+              "to a federation front, or --shutdown to stop the "
+              "server)",
               file=sys.stderr)
         return 2
     try:
@@ -566,6 +638,15 @@ def cmd_submit(args) -> int:
             timeout=args.timeout, auth_token=_auth_token(args),
         ) as client:
             rc = 0
+            for entry in args.pool or ():
+                host, _colon, port = entry.rpartition(":")
+                if not host or not port.isdigit():
+                    print(f"error: --pool {entry!r} must be HOST:PORT",
+                          file=sys.stderr)
+                    return 2
+                name = client.register_pool(host, int(port))
+                print(f"registered pool {name} ({host}:{port}) on "
+                      f"{args.host}:{args.port}")
             if selection:
                 rc = _submit_selection(client, args)
             if args.attach:
@@ -879,9 +960,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache root for supervised workers (one subdir "
         "per slot)",
     )
+    p_coord.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault-injection schedule for this "
+        "coordinator, e.g. 'seed=7,kill-pool@3' (the pool process "
+        "dies abruptly at its Nth granted lease)",
+    )
     add_listener_hardening(p_coord)
     add_warehouse(p_coord)
     p_coord.set_defaults(fn=cmd_coordinator)
+
+    p_fed = sub.add_parser(
+        "federate",
+        help="run a federation front: shard submitted sweeps across "
+        "peer coordinator pools with health probing and failover",
+    )
+    p_fed.add_argument("--host", default="127.0.0.1")
+    p_fed.add_argument(
+        "--port", type=int, default=7460,
+        help="listen port (0 picks a free one; default 7460)",
+    )
+    p_fed.add_argument(
+        "--pool", action="append", default=[], metavar="HOST:PORT",
+        help="a peer coordinator pool to federate over (repeatable; "
+        "more can be attached later via 'repro submit --pool')",
+    )
+    p_fed.add_argument(
+        "--journal", default=".repro_cache/federation_journal.jsonl",
+        help="append-only JSONL job journal for the front "
+        "(default .repro_cache/federation_journal.jsonl)",
+    )
+    p_fed.add_argument(
+        "--no-journal", action="store_true",
+        help="run without durability (front crash loses in-flight jobs)",
+    )
+    p_fed.add_argument(
+        "--resume", action="store_true",
+        help="replay the front journal on startup and finish half-done "
+        "jobs without re-executing specs any pool completed",
+    )
+    p_fed.add_argument(
+        "--compact-every", type=int, default=1000,
+        help="compact the front journal every N records (0 disables; "
+        "default 1000)",
+    )
+    p_fed.add_argument(
+        "--max-spec-retries", type=int, default=5,
+        help="involuntary re-homes before a spec is quarantined as a "
+        "structured failure (default 5)",
+    )
+    p_fed.add_argument(
+        "--chunk-specs", type=int, default=4,
+        help="specs granted to one pool per forwarding chunk "
+        "(default 4)",
+    )
+    p_fed.add_argument(
+        "--probe-interval", type=float, default=2.0,
+        help="seconds between health probes per pool (default 2)",
+    )
+    p_fed.add_argument(
+        "--failure-threshold", type=int, default=3,
+        help="consecutive probe/stream failures before a pool's "
+        "circuit breaker opens (default 3)",
+    )
+    add_listener_hardening(p_fed)
+    add_warehouse(p_fed)
+    p_fed.set_defaults(fn=cmd_federate)
 
     p_worker = sub.add_parser(
         "worker",
@@ -995,6 +1139,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--attach", metavar="JOB", default=None,
         help="re-attach to an existing job id (e.g. after a "
         "coordinator --resume) and stream its merged results",
+    )
+    p_submit.add_argument(
+        "--pool", action="append", default=[], metavar="HOST:PORT",
+        help="register a coordinator pool on a federation front "
+        "(repeatable; works alone or before a submission)",
     )
     p_submit.add_argument(
         "--auth-token", default=None,

@@ -129,9 +129,24 @@ class RemoteBackend(Backend):
     peer and re-streams its results — the stub that turns one service
     into a chainable hop.  Connection setup is deferred to each
     ``run`` call so the backend object itself is cheap and picklable.
+
+    Timeouts default *finite* so a hung peer can never wedge the hop
+    forever: ``connect_timeout`` bounds the dial,``timeout`` bounds
+    each read between streamed results.  Pass ``timeout=None``
+    explicitly to wait indefinitely (the pre-federation behaviour).
+    Connect retries sleep on the shared jittered exponential
+    :class:`~repro.service.backoff.Backoff` inside the client, not a
+    fixed-delay loop.
     """
 
     name = "remote"
+
+    #: dial bound — a dead host fails in seconds, not at TCP's mercy.
+    DEFAULT_CONNECT_TIMEOUT_S = 10.0
+    #: per-read bound between frames; generous because one slow spec
+    #: may legitimately stream nothing for minutes.
+    DEFAULT_READ_TIMEOUT_S = 300.0
+    _UNSET = object()
 
     def __init__(
         self,
@@ -139,12 +154,20 @@ class RemoteBackend(Backend):
         port: int,
         *,
         connect_retries: int = 25,
-        timeout: Optional[float] = None,
+        timeout: Optional[float] = _UNSET,
+        connect_timeout: Optional[float] = _UNSET,
     ):
         self.host = host
         self.port = port
         self.connect_retries = connect_retries
-        self.timeout = timeout
+        self.timeout = (
+            self.DEFAULT_READ_TIMEOUT_S if timeout is self._UNSET
+            else timeout
+        )
+        self.connect_timeout = (
+            self.DEFAULT_CONNECT_TIMEOUT_S if connect_timeout is self._UNSET
+            else connect_timeout
+        )
 
     def run(
         self,
@@ -160,6 +183,7 @@ class RemoteBackend(Backend):
             self.port,
             retries=self.connect_retries,
             timeout=self.timeout,
+            connect_timeout=self.connect_timeout,
         ) as client:
             return client.submit(specs, progress=progress)
 
@@ -259,5 +283,7 @@ def make_service_backend(
     if kind == "remote":
         if not remote_host or remote_port is None:
             raise ValueError("remote backend needs remote_host/remote_port")
-        return RemoteBackend(remote_host, remote_port, timeout=timeout_s)
+        if timeout_s is not None:
+            return RemoteBackend(remote_host, remote_port, timeout=timeout_s)
+        return RemoteBackend(remote_host, remote_port)
     raise ValueError(f"unknown service backend {kind!r}")

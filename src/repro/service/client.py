@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 from repro.engine.results import ScenarioResult
 from repro.engine.spec import ScenarioSpec
 from repro.service import protocol
-from repro.service.backoff import jittered_delay
+from repro.service.backoff import Backoff, jittered_delay
 from repro.service.protocol import FrameDecoder, ProtocolError
 
 
@@ -48,6 +48,7 @@ class ServiceClient:
         port: int,
         *,
         timeout: Optional[float] = None,
+        connect_timeout: Optional[float] = None,
         retries: int = 0,
         retry_delay_s: float = 0.2,
         auth_token: Optional[str] = None,
@@ -56,6 +57,12 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: dial timeout for :func:`socket.create_connection`; falls back
+        #: to ``timeout`` when None, so a read timeout alone still bounds
+        #: the connect and a finite connect bound never loosens reads.
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
         self.auth_token = auth_token
         self.busy_retries = (
             self.BUSY_RETRIES if busy_retries is None else busy_retries
@@ -69,16 +76,18 @@ class ServiceClient:
     def _connect(self, retries: int, delay_s: float) -> None:
         last_error: Optional[OSError] = None
         attempts = max(1, retries + 1)
+        backoff = Backoff(base_s=delay_s, max_s=max(delay_s, 2.0))
         for attempt in range(attempts):
             try:
                 self._sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
+                    (self.host, self.port), timeout=self.connect_timeout
                 )
+                self._sock.settimeout(self.timeout)
                 return
             except OSError as exc:
                 last_error = exc
                 if attempt + 1 < attempts:
-                    time.sleep(delay_s)
+                    time.sleep(backoff.next_delay())
         raise ServiceError(
             "connect-failed",
             f"cannot reach {self.host}:{self.port}: {last_error}",
@@ -266,6 +275,43 @@ class ServiceClient:
     def cancel(self, job: str) -> None:
         self.send(protocol.make_cancel(job))
         self._recv_checked()
+
+    # -- federation admin ----------------------------------------------------
+
+    def register_pool(
+        self, host: str, port: int, name: Optional[str] = None
+    ) -> str:
+        """Attach a coordinator pool to a federation front; returns the
+        pool's federation name (acked in the ``job`` slot)."""
+        self.send(protocol.make_pool_register(host, port, name))
+        ack = self._recv_checked()
+        if ack.get("type") != "ack":
+            raise ServiceError(
+                "protocol", f"expected ack, got {ack.get('type')!r}"
+            )
+        return str(ack.get("job"))
+
+    def pool_health(self) -> Dict[str, Any]:
+        """Per-pool breaker state + counters from a federation front."""
+        self.send(protocol.make_pool_health())
+        frame = self._recv_checked()
+        if frame.get("type") != "pool-health-reply":
+            raise ServiceError(
+                "protocol",
+                f"expected pool-health-reply, got {frame.get('type')!r}",
+            )
+        return frame.get("pools", {})
+
+    def rehome_pool(self, pool: str) -> int:
+        """Drain ``pool``: its uncompleted specs return to the
+        federation queue.  Returns how many specs were re-homed."""
+        self.send(protocol.make_pool_rehome(pool))
+        ack = self._recv_checked()
+        if ack.get("type") != "ack":
+            raise ServiceError(
+                "protocol", f"expected ack, got {ack.get('type')!r}"
+            )
+        return int(ack.get("specs", 0))
 
     def ping(self) -> bool:
         self.send(protocol.make_ping())

@@ -1,0 +1,411 @@
+"""Federated coordinators end-to-end: parity, failover, resume.
+
+The acceptance bar from the issue: a sweep sharded across two peer
+coordinator pools survives the death of one *entire pool* mid-sweep
+(its chunk re-homes to the survivor) and a front crash followed by
+``repro federate --resume`` — in both cases producing a merged report
+identical to the serial run, with zero re-executions of specs the
+front journal had already banked.  Pure-logic pieces (circuit breaker
+transitions, re-home budgets, chaos grammar) are tested without
+sockets on fake clocks.
+"""
+
+import contextlib
+import json
+import queue as stdlib_queue
+import socket
+import time
+
+import pytest
+
+from repro.cluster.chaos import ChaosMonkey
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.federation import (
+    CircuitBreaker,
+    FederatedCoordinator,
+    FederationPool,
+)
+from repro.cluster.journal import JobJournal
+from repro.cluster.worker import BackgroundWorker
+from repro.engine.executor import execute
+from repro.engine.registry import scenario, unregister
+from repro.engine.spec import ScenarioSpec
+from repro.service import protocol
+from repro.service.backoff import Backoff
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import BackgroundServer
+from repro.service.shard import expand_sweep
+
+SLOW_S = 0.3
+LEASE_TIMEOUT_S = 3.0
+AXES = {"k": [1, 2, 3, 4, 5, 6]}
+
+#: snappy failover knobs for in-process tests: probe fast, trip fast
+FED_KW = dict(
+    probe_interval_s=0.2,
+    failure_threshold=2,
+    poll_timeout_s=0.2,
+    connect_timeout_s=2.0,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def federation_scenarios():
+    @scenario("_fed_fast", params={"n": 2})
+    def _fast(n=2):
+        return {"rows": [{"i": i, "sq": i * i} for i in range(n)],
+                "verdict": {"ok": True}}
+
+    @scenario("_fed_slow", params={"k": 1, "delay": SLOW_S})
+    def _slow(k=1, delay=SLOW_S):
+        time.sleep(delay)
+        return {"rows": [{"k": k, "cube": k ** 3}],
+                "verdict": {"ok": True}}
+
+    yield
+    for name in ("_fed_fast", "_fed_slow"):
+        unregister(name)
+
+
+@contextlib.contextmanager
+def pool(workers=1):
+    """One real coordinator pool (ephemeral port) with its workers."""
+    coordinator = ClusterCoordinator(port=0,
+                                     lease_timeout_s=LEASE_TIMEOUT_S)
+    with BackgroundServer(server=coordinator) as bg:
+        fleet = []
+        try:
+            for index in range(workers):
+                fleet.append(
+                    BackgroundWorker(bg.host, bg.port,
+                                     name=f"pw{index}").start()
+                )
+            yield bg, coordinator, fleet
+        finally:
+            for worker in fleet:
+                worker.stop()
+
+
+@contextlib.contextmanager
+def federation(pool_addrs, **kwargs):
+    for key, value in FED_KW.items():
+        kwargs.setdefault(key, value)
+    kwargs.setdefault("chunk_specs", 3)
+    front = FederatedCoordinator(port=0, pools=pool_addrs, **kwargs)
+    with BackgroundServer(server=front) as bg:
+        yield bg, front
+
+
+def payloads(results):
+    return sorted(
+        json.dumps(r.comparable_payload(), sort_keys=True) for r in results
+    )
+
+
+class TestFederatedExecution:
+    BASE = ScenarioSpec("_fed_slow", {"k": 1, "delay": 0.05})
+
+    def test_two_pool_sweep_matches_serial(self):
+        serial = execute(expand_sweep(self.BASE, AXES), backend="serial")
+        with pool() as (bga, _ca, _wa), pool() as (bgb, _cb, _wb):
+            addrs = [(bga.host, bga.port), (bgb.host, bgb.port)]
+            with federation(addrs, chunk_specs=2) as (bg, front):
+                with ServiceClient(bg.host, bg.port, timeout=60) as client:
+                    results = client.submit([self.BASE], sweep=AXES)
+                    assert client.last_done["failed"] == 0
+                status = front.fed.status()
+        assert payloads(results) == payloads(serial)
+        # chunked fan-out: both pools contributed, nothing left queued
+        assert all(
+            p["assigned"] > 0 for p in status["pools"].values()
+        )
+        assert status["completed"] == 6
+        assert status["queued"] == 0 and status["inflight"] == 0
+
+    def test_front_status_carries_federation_topology(self):
+        with pool() as (bga, _ca, _wa):
+            with federation([(bga.host, bga.port)]) as (bg, _front):
+                with ServiceClient(bg.host, bg.port, timeout=30) as client:
+                    cluster = client.status_full()["cluster"]
+        assert cluster["federation"] is True
+        assert len(cluster["pools"]) == 1
+        (peer,) = cluster["pools"].values()
+        assert peer["breaker"]["state"] == CircuitBreaker.CLOSED
+
+
+class TestFederationFrames:
+    def test_register_health_rehome_round_trip(self):
+        with pool() as (bga, _ca, _wa), pool() as (bgb, _cb, _wb):
+            with federation([(bga.host, bga.port)]) as (bg, front):
+                with ServiceClient(bg.host, bg.port, timeout=30) as client:
+                    name = client.register_pool(bgb.host, bgb.port)
+                    health = client.pool_health()
+                    assert set(health) == {"pool-1", name}
+                    assert all(
+                        p["breaker"]["state"] == CircuitBreaker.CLOSED
+                        for p in health.values()
+                    )
+                    # drain the new pool; nothing in flight → 0
+                    assert client.rehome_pool(name) == 0
+                    assert front.fed.peers[name].draining
+                    # re-registering the same address re-attaches it
+                    assert client.register_pool(bgb.host,
+                                               bgb.port) == name
+                    assert not front.fed.peers[name].draining
+
+    def test_rehome_of_unknown_pool_is_a_structured_error(self):
+        with pool() as (bga, _ca, _wa):
+            with federation([(bga.host, bga.port)]) as (bg, _front):
+                with ServiceClient(bg.host, bg.port, timeout=30) as client:
+                    with pytest.raises(ServiceError) as info:
+                        client.rehome_pool("pool-99")
+                    assert info.value.code == "unknown-pool"
+                    # the connection survives the refusal
+                    assert client.ping()
+
+    def test_plain_listener_rejects_fed_frames_structurally(self):
+        from repro.service.backend import LocalBackend
+
+        with BackgroundServer(LocalBackend(backend="serial")) as bg:
+            with socket.create_connection((bg.host, bg.port),
+                                          timeout=10) as sock:
+                sock.sendall(protocol.encode_frame(
+                    protocol.make_pool_health()
+                ))
+                reply = json.loads(sock.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert reply["code"] == "unsupported"
+
+
+class TestPoolFailover:
+    BASE = ScenarioSpec("_fed_slow", {"k": 1, "delay": SLOW_S})
+
+    def test_killed_pool_mid_sweep_rehomes_to_survivor(self):
+        serial = execute(expand_sweep(self.BASE, AXES), backend="serial")
+        with pool() as (bga, _ca, wa), pool() as (bgb, _cb, _wb):
+            addrs = [(bga.host, bga.port), (bgb.host, bgb.port)]
+            with federation(addrs, chunk_specs=3) as (bg, front):
+                with ServiceClient(bg.host, bg.port, timeout=120) as client:
+                    results = []
+                    for result in client.submit_iter([self.BASE],
+                                                     sweep=AXES):
+                        results.append(result)
+                        if len(results) == 1:
+                            # the whole pool goes dark: listener and
+                            # its worker fleet, mid-chunk
+                            wa[0].kill()
+                            bga.stop()
+                    assert client.last_done["failed"] == 0
+                    assert not client.last_done["cancelled"]
+                status = front.fed.status()
+        assert payloads(results) == payloads(serial)
+        # the dead pool's chunk was re-homed, not lost and not failed
+        assert status["rehomed"] >= 1
+        assert status["quarantined"] == 0
+        dark = [
+            p for p in status["pools"].values()
+            if p["breaker"]["state"] != CircuitBreaker.CLOSED
+        ]
+        assert len(dark) == 1
+
+    def test_front_crash_then_resume_to_parity(self, tmp_path):
+        serial = execute(expand_sweep(self.BASE, AXES), backend="serial")
+        journal_path = tmp_path / "federation_journal.jsonl"
+        with pool() as (bga, _ca, _wa), pool() as (bgb, _cb, _wb):
+            addrs = [(bga.host, bga.port), (bgb.host, bgb.port)]
+
+            # -- phase 1: shard across both pools, then "crash" the
+            #    front after a couple of completions
+            front = FederatedCoordinator(
+                port=0, pools=addrs, journal_path=str(journal_path),
+                chunk_specs=2, **FED_KW,
+            )
+            crash_server = BackgroundServer(server=front).start()
+            client = ServiceClient(crash_server.host, crash_server.port,
+                                   timeout=60)
+            pre_crash = []
+            for result in client.submit_iter([self.BASE], sweep=AXES):
+                pre_crash.append(result)
+                if len(pre_crash) == 2:
+                    break
+            job_id = client.last_job
+            crash_server.stop()    # federation aborts; no job-done
+            client.close()
+
+            state = JobJournal.replay(journal_path)
+            job = state.jobs[job_id]
+            assert not job.finished
+            assert len(job.results) >= 2
+            completed_hashes = job.completed_hashes()
+            assert job.pending_specs()
+            # pool grants joined the lease trail as assign events
+            assert state.leases
+            assert all(
+                worker.startswith("pool:")
+                for (_j, _s, worker) in state.leases
+            )
+            assigns_before_resume = len(state.leases)
+
+            # -- phase 2: a fresh front over the *same* pools resumes
+            #    the journal and owes only what no pool completed
+            resumed = FederatedCoordinator(
+                port=0, pools=addrs, journal_path=str(journal_path),
+                resume=True, chunk_specs=2, **FED_KW,
+            )
+            with BackgroundServer(server=resumed) as bg:
+                with ServiceClient(bg.host, bg.port, timeout=60) as c2:
+                    merged = list(c2.stream_job(job_id))
+                    assert c2.last_done["total"] == 6
+                    assert c2.last_done["failed"] == 0
+
+        # merged report identical to the uninterrupted serial sweep
+        assert payloads(merged) == payloads(serial)
+
+        # zero re-executions of front-journal-completed specs: no
+        # post-resume pool grant names a hash banked before the crash
+        final = JobJournal.replay(journal_path)
+        assert final.resumes == 1
+        assert final.jobs[job_id].finished
+        post_resume = final.leases[assigns_before_resume:]
+        assert post_resume
+        assert not [
+            spec_hash
+            for (_job, spec_hash, _pool) in post_resume
+            if spec_hash in completed_hashes
+        ]
+
+
+class TestRehomeBudget:
+    """`_rehome` charging semantics, without sockets."""
+
+    def _fed_with_item(self, max_spec_retries):
+        fed = FederationPool(max_spec_retries=max_spec_retries,
+                             probe_interval_s=60.0)
+        peer = fed.add_pool("127.0.0.1", 1, name="px")
+        sink = stdlib_queue.Queue()
+        fed.submit_batch([ScenarioSpec("_fed_fast", {"n": 3})], sink)
+        return fed, peer, sink
+
+    def test_charged_rehomes_burn_the_retry_budget(self):
+        fed, peer, sink = self._fed_with_item(max_spec_retries=1)
+        item = fed._queue.popleft()
+        fed._rehome(peer, [item], charged=True)
+        assert item.requeues == 1
+        assert list(fed._queue) == [item]    # still schedulable
+        fed._queue.clear()
+        fed._rehome(peer, [item], charged=True)
+        assert not fed._queue                # budget exhausted
+        kind, result = sink.get_nowait()
+        assert kind == "result"
+        assert "quarantined" in (result.error or "")
+        assert "pools" in result.error       # names the right suspect
+        assert fed.total_quarantined == 1
+
+    def test_uncharged_rehomes_are_free(self):
+        fed, peer, sink = self._fed_with_item(max_spec_retries=0)
+        item = fed._queue.popleft()
+        for _ in range(5):                   # drain/busy, repeatedly
+            fed._rehome(peer, [item], charged=False)
+            assert fed._queue.popleft() is item
+        assert item.requeues == 0
+        assert fed.total_quarantined == 0
+        assert sink.empty()
+
+    def test_delivered_and_abandoned_items_are_not_requeued(self):
+        fed, peer, _sink = self._fed_with_item(max_spec_retries=5)
+        item = fed._queue.popleft()
+        item.delivered = True
+        fed._rehome(peer, [item], charged=True)
+        assert not fed._queue and item.requeues == 0
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=threshold,
+            backoff=Backoff(base_s=1.0, max_s=8.0, jitter=0.0),
+            clock=clock,
+        )
+        return breaker, clock
+
+    def test_trips_only_after_consecutive_threshold(self):
+        breaker, _clock = self._breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_success()             # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_total == 1
+
+    def test_open_grants_one_half_open_trial_after_the_delay(self):
+        breaker, clock = self._breaker(threshold=1)
+        breaker.record_failure()             # open, retry_at = 1.0
+        assert not breaker.allow()
+        clock.advance(0.99)
+        assert not breaker.allow()
+        clock.advance(0.01)
+        assert breaker.allow()               # the trial itself
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()           # one trial is already out
+
+    def test_failed_trial_reopens_with_a_longer_delay(self):
+        breaker, clock = self._breaker(threshold=1)
+        breaker.record_failure()             # attempt 0 → delay 1.0
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()             # half-open → open at once
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_total == 2
+        assert breaker.retry_at == pytest.approx(clock.t + 2.0)
+
+    def test_successful_trial_closes_and_resets_the_backoff(self):
+        breaker, clock = self._breaker(threshold=1)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0
+        assert breaker.backoff.attempt == 0  # ramp starts over
+        # a later trip waits the *base* delay again, not the ramp
+        breaker.record_failure()
+        assert breaker.retry_at == pytest.approx(clock.t + 1.0)
+
+
+class TestKillPoolChaos:
+    def test_grammar_round_trips(self):
+        monkey = ChaosMonkey.parse("seed=7,kill-pool@2")
+        assert monkey.pending() == {"kill-pool": [2]}
+        assert ChaosMonkey.parse(monkey.describe()).describe() == (
+            monkey.describe()
+        )
+
+    def test_fires_at_the_nth_granted_lease(self):
+        monkey = ChaosMonkey.parse("kill-pool@2")
+        assert [monkey.fire("kill-pool") for _ in range(4)] == [
+            False, True, False, False
+        ]
+        assert monkey.fired == [("kill-pool", 2)]
+
+    def test_coordinator_accepts_a_chaos_monkey(self):
+        monkey = ChaosMonkey.parse("kill-pool@999")
+        coordinator = ClusterCoordinator(
+            port=0, lease_timeout_s=LEASE_TIMEOUT_S, chaos=monkey,
+        )
+        assert coordinator.pool.chaos is monkey

@@ -77,3 +77,19 @@ class TestRemoteBackend:
             results[0].comparable_payload()
             == run_spec(spec).comparable_payload()
         )
+
+    def test_timeouts_are_finite_by_default(self):
+        # a hung listener must not hang the caller forever: both the
+        # dial and each read carry finite bounds out of the box
+        backend = RemoteBackend("127.0.0.1", 7341)
+        assert backend.timeout == RemoteBackend.DEFAULT_READ_TIMEOUT_S
+        assert (
+            backend.connect_timeout
+            == RemoteBackend.DEFAULT_CONNECT_TIMEOUT_S
+        )
+
+    def test_explicit_none_still_means_unbounded_reads(self):
+        backend = RemoteBackend("127.0.0.1", 7341, timeout=None,
+                                connect_timeout=None)
+        assert backend.timeout is None
+        assert backend.connect_timeout is None

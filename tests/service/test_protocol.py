@@ -261,3 +261,57 @@ class TestAuthToken:
     def test_attach_token_is_a_noop_without_a_secret(self):
         message = protocol.attach_token(protocol.make_ping(), None)
         assert "token" not in message
+
+
+class TestFederationFrames:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            protocol.make_pool_register("10.0.0.5", 7450),
+            protocol.make_pool_register("10.0.0.5", 7450, name="pool-a"),
+            protocol.make_pool_health(),
+            protocol.make_pool_health_reply(
+                {"pool-1": {"breaker": {"state": "closed"}}}
+            ),
+            protocol.make_pool_rehome("pool-1"),
+        ],
+    )
+    def test_federation_messages_round_trip(self, message):
+        assert decode_frame(encode_frame(message).rstrip(b"\n")) == message
+
+    def test_federation_requests_validate(self):
+        assert validate_request(
+            protocol.make_pool_register("10.0.0.5", 7450)
+        ) == "pool-register"
+        assert validate_request(
+            protocol.make_pool_health()
+        ) == "pool-health"
+        assert validate_request(
+            protocol.make_pool_rehome("pool-1")
+        ) == "pool-rehome"
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"type": "pool-register", "port": 7450},          # no host
+            {"type": "pool-register", "host": "h"},           # no port
+            {"type": "pool-register", "host": "h", "port": 0},
+            {"type": "pool-register", "host": "h", "port": 70000},
+            {"type": "pool-register", "host": "h", "port": True},
+            {"type": "pool-register", "host": "h", "port": 7450,
+             "name": 3},
+            {"type": "pool-rehome"},                          # no pool
+            {"type": "pool-rehome", "pool": 7},
+        ],
+    )
+    def test_malformed_federation_frames_rejected(self, message):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"v": PROTOCOL_VERSION, **message})
+        assert info.value.code == "bad-message"
+
+    def test_pool_health_reply_is_not_a_request(self):
+        with pytest.raises(ProtocolError) as info:
+            validate_request(
+                protocol.make_pool_health_reply({})
+            )
+        assert info.value.code == "unknown-type"
