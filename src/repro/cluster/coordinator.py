@@ -42,6 +42,7 @@ from repro.service.protocol import ProtocolError
 from repro.service.server import DEFAULT_HOST, Job, ScenarioServer
 from repro.telemetry.events import BUS
 from repro.telemetry.metrics import METRICS
+from repro.telemetry.spans import emit_span, new_span_id
 
 DEFAULT_PORT = 7452
 DEFAULT_LEASE_TIMEOUT_S = 30.0
@@ -89,7 +90,8 @@ class WorkItem:
     """One spec awaiting (or under) execution for one batch."""
 
     __slots__ = ("spec", "job_id", "sink", "batch_id", "abandoned",
-                 "delivered", "leased_at", "requeues")
+                 "delivered", "leased_at", "requeues", "trace_id",
+                 "span_id", "parent_span")
 
     def __init__(self, spec: ScenarioSpec, job_id: str, sink,
                  batch_id: str):
@@ -104,6 +106,11 @@ class WorkItem:
         # — graceful lease releases are free.  Past max_spec_retries
         # the spec is quarantined instead of requeued.
         self.requeues = 0
+        # trace identity of the *latest* grant: the lease span id is
+        # re-minted per grant, so only the grant that completes emits
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_span = ""
 
 
 class WorkerHandle:
@@ -164,6 +171,10 @@ class ClusterPool:
         #: ``kill-pool`` trigger is counted per granted lease and takes
         #: the whole coordinator process down abruptly.
         self.chaos = chaos
+        #: callable ``job_id -> (trace_id, job_span_id) | None`` set by
+        #: the owning coordinator so lease spans parent on job spans
+        #: without the pool reaching into server state.
+        self.trace_resolver = None
         self.heartbeat_s = max(0.05, lease_timeout_s / 4.0)
         self.queue = WorkStealingQueue()
         self.workers: Dict[str, WorkerHandle] = {}
@@ -413,6 +424,16 @@ class ClusterPool:
                          spec_hash=item.spec.content_hash,
                          worker=worker.id, lease=lease_id,
                          status=result.status)
+                if item.trace_id:
+                    emit_span(
+                        _COMPONENT, "lease",
+                        trace_id=item.trace_id, span_id=item.span_id,
+                        parent_id=item.parent_span,
+                        job_id=item.job_id,
+                        spec_hash=item.spec.content_hash,
+                        duration_s=self.loop.time() - item.leased_at,
+                        worker=worker.id, status=result.status,
+                    )
             item.sink.put(("result", result))
             self._batch_done(item)
         await self._grant(worker)
@@ -455,10 +476,17 @@ class ClusterPool:
                 self.journal.record_lease(
                     item.job_id, item.spec.content_hash, worker.id
                 )
+            trace = None
+            if self.trace_resolver is not None and item.job_id:
+                context = self.trace_resolver(item.job_id)
+                if context:
+                    item.trace_id, item.parent_span = context
+                    item.span_id = new_span_id()
+                    trace = {"id": item.trace_id, "span": item.span_id}
             try:
                 frame = protocol.encode_frame(
                     protocol.make_lease(lease_id, item.spec.to_dict(),
-                                        job=item.job_id)
+                                        job=item.job_id, trace=trace)
                 )
                 async with worker.lock:
                     worker.writer.write(frame)
@@ -665,6 +693,8 @@ class ClusterCoordinator(JournaledServer):
             auth_token=auth_token,
             max_pending=max_pending,
         )
+        # lease spans parent on the submitting job's span
+        self.pool.trace_resolver = self._job_trace
 
     # -- lifecycle ----------------------------------------------------------
 

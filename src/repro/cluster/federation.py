@@ -70,6 +70,7 @@ from repro.service.protocol import ProtocolError
 from repro.service.server import DEFAULT_HOST
 from repro.telemetry.events import BUS
 from repro.telemetry.metrics import METRICS
+from repro.telemetry.spans import emit_span, new_span_id
 
 DEFAULT_PORT = 7460
 DEFAULT_PROBE_INTERVAL_S = 2.0
@@ -220,6 +221,10 @@ class FederationPool:
         self.poll_timeout_s = poll_timeout_s
         self.connect_timeout_s = connect_timeout_s
         self.auth_token = auth_token
+        #: callable ``job_id -> (trace_id, job_span_id) | None`` set by
+        #: the owning front so chunk ``assign`` spans parent on the
+        #: front job span and pools inherit the trace over the wire.
+        self.trace_resolver = None
         self.peers: Dict[str, PoolPeer] = {}
         self.closed = False
         self._cond = threading.Condition()
@@ -486,11 +491,34 @@ class FederationPool:
                                     spec_hash=item.spec.content_hash,
                                     pool=peer.name,
                                 )
-                        peer.inflight = items
+                        # the roster must be its own list: delivery
+                        # removes items from it while the forwarder
+                        # still iterates the chunk
+                        peer.inflight = list(items)
                         return items
                 # the timed wait doubles as the breaker-reopen clock:
                 # a notify is not guaranteed when retry_at elapses
                 self._cond.wait(timeout=0.25)
+
+    def _chunk_trace(self, items: List[WorkItem]):
+        """Mint this chunk's ``assign`` span under the front job span.
+
+        Returns ``(wire_trace, span_id, parent_id)`` — all empty when
+        the job carries no trace (e.g. journal-restored work).  The
+        wire trace names the *chunk* span as parent, so the pool-side
+        job span nests under this hop.
+        """
+        if self.trace_resolver is not None:
+            for item in items:
+                if not item.job_id:
+                    continue
+                context = self.trace_resolver(item.job_id)
+                if context:
+                    trace_id, parent_id = context
+                    span_id = new_span_id()
+                    return ({"id": trace_id, "span": span_id},
+                            span_id, parent_id)
+        return None, "", ""
 
     def _run_chunk(self, peer: PoolPeer, items: List[WorkItem]) -> None:
         pending: Dict[str, deque] = {}
@@ -498,6 +526,8 @@ class FederationPool:
             pending.setdefault(item.spec.content_hash,
                                deque()).append(item)
         outstanding = set(items)
+        trace_ctx, chunk_span, trace_parent = self._chunk_trace(items)
+        chunk_started = time.monotonic()
         try:
             client = ServiceClient(
                 peer.host, peer.port,
@@ -513,6 +543,7 @@ class FederationPool:
             with client:
                 client.send(protocol.make_submit(
                     [i.spec.to_dict() for i in items], stream=True,
+                    trace=trace_ctx,
                 ))
                 while outstanding:
                     try:
@@ -576,6 +607,18 @@ class FederationPool:
         finally:
             with self._cond:
                 peer.inflight = []
+            if trace_ctx and BUS.enabled:
+                # one span per chunk (not per spec): the federation's
+                # unit of assignment is the chunk, and its duration is
+                # the pool hop the critical path actually paid
+                emit_span(
+                    _COMPONENT, "assign",
+                    trace_id=trace_ctx["id"], span_id=chunk_span,
+                    parent_id=trace_parent, job_id=items[0].job_id,
+                    duration_s=time.monotonic() - chunk_started,
+                    pool=peer.name, specs=len(items),
+                    completed=len(items) - len(outstanding),
+                )
 
     def _deliver(self, peer: PoolPeer, item: WorkItem,
                  result: ScenarioResult) -> None:
@@ -583,6 +626,11 @@ class FederationPool:
             if item.abandoned or item.delivered:
                 return
             item.delivered = True
+            # leave the inflight roster under the same lock: a client
+            # that has every result must see inflight == 0 in status,
+            # not wait on the forwarder reaching its chunk epilogue
+            if item in peer.inflight:
+                peer.inflight.remove(item)
             peer.completed += 1
             self.total_completed += 1
             self._batch_done_locked(item)
@@ -772,6 +820,9 @@ class FederatedCoordinator(JournaledServer):
             auth_token=auth_token,
             max_pending=max_pending,
         )
+        # chunk assign spans parent on the front job's span, and the
+        # wire trace makes pool-side jobs nest under the chunk
+        self.fed.trace_resolver = self._job_trace
 
     # -- lifecycle ----------------------------------------------------------
 

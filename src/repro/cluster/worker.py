@@ -35,6 +35,7 @@ from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import ProtocolError
 from repro.telemetry.events import BUS, diag
 from repro.telemetry.metrics import METRICS
+from repro.telemetry.spans import emit_span, new_span_id
 
 _COMPONENT = "cluster.worker"
 
@@ -293,6 +294,7 @@ class ClusterWorker:
     def _execute_lease(self, frame: dict) -> None:
         lease_id = frame["lease"]
         job_id = str(frame.get("job") or "")
+        trace = frame.get("trace") or {}
         try:
             spec = ScenarioSpec.from_dict(frame["spec"])
         except (KeyError, TypeError, ValueError):
@@ -324,6 +326,15 @@ class ClusterWorker:
                      lease=lease_id, scenario=spec.name,
                      status=result.status,
                      wall_time_s=round(result.elapsed_s, 6))
+            if trace.get("id"):
+                emit_span(
+                    _COMPONENT, "execute",
+                    trace_id=str(trace["id"]), span_id=new_span_id(),
+                    parent_id=str(trace.get("span") or ""),
+                    job_id=job_id, spec_hash=spec.content_hash,
+                    duration_s=result.elapsed_s,
+                    worker=self.name, status=result.status,
+                )
         self._log(
             f"{spec.name} -> {result.status} ({result.elapsed_s:.2f}s)"
         )

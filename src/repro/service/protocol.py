@@ -41,7 +41,7 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 REQUEST_TYPES = frozenset(
-    {"submit", "status", "stream", "cancel", "shutdown", "ping"}
+    {"submit", "status", "stream", "cancel", "shutdown", "ping", "watch"}
 )
 #: frames a cluster worker sends its coordinator (same direction as
 #: client requests: inbound on the listener).
@@ -57,7 +57,7 @@ FED_REQUEST_TYPES = frozenset(
 )
 RESPONSE_TYPES = frozenset(
     {"ack", "result", "done", "status-reply", "error", "pong", "bye",
-     "registered", "lease", "pool-health-reply"}
+     "registered", "lease", "pool-health-reply", "watch-ack", "event"}
 )
 
 
@@ -181,6 +181,7 @@ def make_submit(
     shards: Optional[int] = None,
     shard: Optional[Sequence[int]] = None,
     options: Optional[Mapping[str, Any]] = None,
+    trace: Optional[Mapping[str, str]] = None,
 ) -> Dict[str, Any]:
     """A job submission: specs (+ optional sweep expansion / sharding).
 
@@ -189,6 +190,11 @@ def make_submit(
     the server run the expansion as N deterministic shard batches;
     ``shard=(i, N)`` keeps only shard i of the expansion (the offline
     ``--shard i/N`` semantics, applied server-side).
+
+    ``trace`` (``{"id": trace-id, "span": parent-span-id}``) threads
+    an existing trace through the submit so the receiving server's
+    job span parents on the caller's — how the federation front links
+    a pool-side job back to the front-side assignment.
     """
     return _message(
         "submit",
@@ -198,6 +204,7 @@ def make_submit(
         shards=shards,
         shard=list(shard) if shard is not None else None,
         options=dict(options) if options else None,
+        trace=dict(trace) if trace else None,
     )
 
 
@@ -254,19 +261,23 @@ def make_status_reply(
     *,
     metrics: Optional[Mapping[str, Any]] = None,
     cluster: Optional[Mapping[str, Any]] = None,
+    watchers: Optional[Mapping[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Job states plus the listener's live telemetry.
 
     ``metrics`` is the process :class:`~repro.telemetry.metrics.
     MetricsRegistry` snapshot; ``cluster`` is the coordinator pool's
-    worker/queue status (absent on a plain server).  Both are omitted
-    when None so old clients see exactly the old frame.
+    worker/queue status (absent on a plain server); ``watchers`` is
+    the watch-hub snapshot (subscriber count + per-subscriber drop
+    counters, absent when nobody is watching).  All are omitted when
+    None so old clients see exactly the old frame.
     """
     return _message(
         "status-reply",
         jobs={k: dict(v) for k, v in jobs.items()},
         metrics=dict(metrics) if metrics is not None else None,
         cluster=dict(cluster) if cluster is not None else None,
+        watchers=dict(watchers) if watchers is not None else None,
     )
 
 
@@ -287,6 +298,51 @@ def make_pong() -> Dict[str, Any]:
 
 def make_bye() -> Dict[str, Any]:
     return _message("bye")
+
+
+# -- watch (live telemetry fan-out) -----------------------------------------
+
+
+def make_watch(
+    *,
+    kinds: Optional[Sequence[str]] = None,
+    job: Optional[str] = None,
+    components: Optional[Sequence[str]] = None,
+    queue: Optional[int] = None,
+    events: bool = True,
+    status_interval: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Subscribe this connection to the server's live event feed.
+
+    ``kinds`` / ``components`` / ``job`` filter which bus events are
+    forwarded (all when omitted); ``queue`` caps the per-subscriber
+    buffer (server clamps to its own ceiling) — overflow drops the
+    *oldest* events and counts them, never blocking the emitter.
+    ``events=False`` with a ``status_interval`` turns the watch into a
+    push-based status feed: the server sends a ``status-reply`` frame
+    at most every ``status_interval`` seconds, and only when
+    something changed.
+    """
+    return _message(
+        "watch",
+        kinds=[str(k) for k in kinds] if kinds else None,
+        job=job or None,
+        components=[str(c) for c in components] if components else None,
+        queue=int(queue) if queue is not None else None,
+        events=bool(events),
+        status_interval=(float(status_interval)
+                         if status_interval is not None else None),
+    )
+
+
+def make_watch_ack(watch: str, queue: int) -> Dict[str, Any]:
+    """Server's reply: the subscription id and the effective queue cap."""
+    return _message("watch-ack", watch=str(watch), queue=int(queue))
+
+
+def make_event(watch: str, event: Mapping[str, Any]) -> Dict[str, Any]:
+    """One bus event forwarded to one watch subscription."""
+    return _message("event", watch=str(watch), event=dict(event))
 
 
 # -- cluster worker frames --------------------------------------------------
@@ -315,15 +371,19 @@ def make_registered(
 
 
 def make_lease(
-    lease: str, spec: Mapping[str, Any], job: Optional[str] = None
+    lease: str, spec: Mapping[str, Any], job: Optional[str] = None,
+    trace: Optional[Mapping[str, str]] = None,
 ) -> Dict[str, Any]:
     """One unit of leased work: a single spec, not an ``i/N`` shard.
 
     ``job`` is the submitting job's id — the correlation id that lets
     a worker's events/logs be traced back to the coordinator-side
-    sweep they belong to.
+    sweep they belong to.  ``trace`` carries the job's trace id and
+    the lease span's id so the worker's ``execute`` span parents on
+    the coordinator's ``lease`` span.
     """
-    return _message("lease", lease=lease, spec=dict(spec), job=job or None)
+    return _message("lease", lease=lease, spec=dict(spec), job=job or None,
+                    trace=dict(trace) if trace else None)
 
 
 def make_lease_result(lease: str, result: Mapping[str, Any]) -> Dict[str, Any]:
@@ -474,6 +534,60 @@ def validate_request(message: Mapping[str, Any]) -> str:
         ):
             raise ProtocolError("bad-message", "'shard' must be [index, "
                                 "total]")
+        trace = message.get("trace")
+        if trace is not None and (
+            not isinstance(trace, dict)
+            or not isinstance(trace.get("id"), str)
+            or not all(isinstance(v, str) for v in trace.values())
+        ):
+            raise ProtocolError(
+                "bad-message",
+                "'trace' must be an object of strings with an 'id'",
+            )
+    elif type_ == "watch":
+        for key in ("kinds", "components"):
+            value = message.get(key)
+            if value is not None and (
+                not isinstance(value, list)
+                or not all(isinstance(x, str) for x in value)
+            ):
+                raise ProtocolError(
+                    "bad-message",
+                    f"watch '{key}' must be a list of strings when given",
+                )
+        job = message.get("job")
+        if job is not None and not isinstance(job, str):
+            raise ProtocolError(
+                "bad-message", "watch 'job' must be a string when given"
+            )
+        queue = message.get("queue")
+        if queue is not None and (
+            not isinstance(queue, int) or isinstance(queue, bool)
+            or queue < 1
+        ):
+            raise ProtocolError(
+                "bad-message", "watch 'queue' must be a positive integer"
+            )
+        interval = message.get("status_interval")
+        if interval is not None and (
+            isinstance(interval, bool)
+            or not isinstance(interval, (int, float))
+            or interval <= 0
+        ):
+            raise ProtocolError(
+                "bad-message",
+                "watch 'status_interval' must be a positive number",
+            )
+        events = message.get("events")
+        if events is not None and not isinstance(events, bool):
+            raise ProtocolError(
+                "bad-message", "watch 'events' must be a boolean"
+            )
+        if events is False and interval is None:
+            raise ProtocolError(
+                "bad-message",
+                "watch with events=false needs a 'status_interval'",
+            )
     elif type_ in ("stream", "cancel"):
         if not isinstance(message.get("job"), str):
             raise ProtocolError(

@@ -1,0 +1,216 @@
+"""Bridge the in-process :class:`~repro.telemetry.events.EventBus`
+into per-connection watch subscriptions.
+
+The fan-out problem: N clients want a live view of a campaign, but
+``emit`` runs on the coordinator's hot paths (lease grants, result
+deliveries) and must never wait on a socket.  So each subscriber gets
+a *bounded* deque; :meth:`WatchSubscriber.push` runs on whatever
+thread emitted the event, appends under a cheap lock, drops the
+*oldest* buffered event when full (latest-wins — a live view wants
+recency), counts the drop, and wakes the subscriber's asyncio writer
+task with at most one ``call_soon_threadsafe`` per burst.  A slow or
+dead watcher therefore costs the producer one lock + one append, ever.
+
+The :class:`WatchHub` owns the bus subscription: it subscribes its
+single ``_on_event`` fanout only while at least one watcher exists,
+so an unobserved bus keeps its one-attribute-load fast path and the
+zero-subscriber bench numbers stay untouched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+from collections import deque
+from typing import Any, Dict, FrozenSet, Optional
+
+from repro.telemetry.events import BUS, Event, EventBus
+
+__all__ = ["WatchSubscriber", "WatchHub", "DEFAULT_QUEUE", "MAX_QUEUE"]
+
+#: default per-subscriber buffer when the watch frame names none.
+DEFAULT_QUEUE = 512
+#: hard ceiling a client-requested queue is clamped to.
+MAX_QUEUE = 4096
+
+_ids = itertools.count(1)
+
+
+class WatchSubscriber:
+    """One bounded, drop-oldest event buffer with a thread-safe wake.
+
+    ``push`` may be called from any thread and never blocks beyond the
+    internal mutex; ``drain``/``wait`` belong to the owning asyncio
+    task.  ``count_drops=False`` marks a status-only subscription
+    (its one-slot queue is just a dirty flag, so overflow there is not
+    data loss and must not alarm anyone reading ``status``).
+    """
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        kinds: Optional[FrozenSet[str]] = None,
+        job_id: Optional[str] = None,
+        components: Optional[FrozenSet[str]] = None,
+        maxlen: int = DEFAULT_QUEUE,
+        count_drops: bool = True,
+    ):
+        self.id = f"w{next(_ids)}"
+        self.kinds = frozenset(kinds) if kinds else None
+        self.job_id = job_id or None
+        self.components = frozenset(components) if components else None
+        self.maxlen = max(1, min(int(maxlen), MAX_QUEUE))
+        self.count_drops = count_drops
+        self.dropped = 0
+        self.delivered = 0
+        self.closed = False
+        self._queue: deque = deque(maxlen=self.maxlen)
+        self._loop = loop
+        self._wake = asyncio.Event()
+        self._wake_pending = False
+        self._lock = threading.Lock()
+
+    def matches(self, event: Event) -> bool:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return False
+        if self.components is not None \
+                and event.component not in self.components:
+            return False
+        if self.job_id is not None and event.job_id != self.job_id:
+            return False
+        return True
+
+    def push(self, event: Event) -> None:
+        """Buffer one event; any thread, never blocks the emitter."""
+        with self._lock:
+            if self.closed:
+                return
+            if len(self._queue) == self.maxlen and self.count_drops:
+                self.dropped += 1  # deque(maxlen) evicts the oldest
+            self._queue.append(event)
+            if self._wake_pending:
+                return
+            self._wake_pending = True
+        try:
+            self._loop.call_soon_threadsafe(self._wake.set)
+        except RuntimeError:
+            pass  # loop already closed; the watcher is going away
+
+    def drain(self) -> list:
+        """Take everything buffered (owning-task only)."""
+        with self._lock:
+            items = list(self._queue)
+            self._queue.clear()
+            self._wake_pending = False
+        self._wake.clear()
+        self.delivered += len(items)
+        return items
+
+    async def wait(self, timeout: Optional[float] = None) -> bool:
+        """Await the next wake; False on timeout."""
+        if timeout is None:
+            await self._wake.wait()
+            return True
+        try:
+            await asyncio.wait_for(self._wake.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def close(self) -> None:
+        with self._lock:
+            self.closed = True
+            self._queue.clear()
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            queued = len(self._queue)
+        return {
+            "kinds": sorted(self.kinds) if self.kinds else None,
+            "job": self.job_id,
+            "queue": self.maxlen,
+            "queued": queued,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+        }
+
+
+class WatchHub:
+    """Fan one bus out to many subscribers; attached only while watched."""
+
+    def __init__(self, bus: EventBus = BUS):
+        self._bus = bus
+        self._lock = threading.Lock()
+        self._subs: tuple = ()  # copy-on-write, like the bus itself
+        self._attached = False
+        #: drops accumulated by subscribers that have since detached,
+        #: so ``status`` totals survive watcher churn.
+        self._dropped_gone = 0
+
+    @property
+    def active(self) -> bool:
+        return bool(self._subs)
+
+    def _on_event(self, event: Event) -> None:
+        for sub in self._subs:
+            if sub.matches(event):
+                sub.push(event)
+
+    def add(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        *,
+        kinds=None,
+        job_id: Optional[str] = None,
+        components=None,
+        maxlen: int = DEFAULT_QUEUE,
+        count_drops: bool = True,
+    ) -> WatchSubscriber:
+        sub = WatchSubscriber(
+            loop,
+            kinds=frozenset(kinds) if kinds else None,
+            job_id=job_id,
+            components=frozenset(components) if components else None,
+            maxlen=maxlen,
+            count_drops=count_drops,
+        )
+        with self._lock:
+            self._subs = self._subs + (sub,)
+            if not self._attached:
+                self._bus.subscribe(self._on_event)
+                self._attached = True
+        return sub
+
+    def remove(self, sub: WatchSubscriber) -> None:
+        sub.close()
+        with self._lock:
+            if sub not in self._subs:
+                return
+            self._subs = tuple(s for s in self._subs if s is not sub)
+            self._dropped_gone += sub.dropped
+            if not self._subs and self._attached:
+                # detach so the unobserved bus goes back to one
+                # attribute load per emit
+                self._bus.unsubscribe(self._on_event)
+                self._attached = False
+
+    def status(self) -> Dict[str, Any]:
+        subs = self._subs
+        return {
+            "watchers": len(subs),
+            "dropped_total": self._dropped_gone
+            + sum(s.dropped for s in subs),
+            "subscribers": {s.id: s.status() for s in subs},
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            subs, self._subs = self._subs, ()
+            if self._attached:
+                self._bus.unsubscribe(self._on_event)
+                self._attached = False
+        for sub in subs:
+            self._dropped_gone += sub.dropped
+            sub.close()

@@ -14,6 +14,11 @@ PR 2/3 bought stay untouched:
   (single-writer thread, WAL) that the local backend and the cluster
   coordinator write every :class:`ScenarioResult` through, queried by
   ``repro query``.
+
+Two read-path layers compose on top: :mod:`repro.telemetry.spans`
+(cross-tier trace spans emitted as ordinary bus events) and
+:mod:`repro.telemetry.httpd` (the read-only HTTP/JSON endpoint behind
+``repro query --serve``).
 """
 
 from repro.telemetry.events import (  # noqa: F401
@@ -31,5 +36,13 @@ from repro.telemetry.metrics import (  # noqa: F401
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.telemetry.spans import (  # noqa: F401
+    SPAN_KIND,
+    emit_span,
+    new_span_id,
+    new_trace_id,
+    span_tree,
+    trace_context,
 )
 from repro.telemetry.warehouse import ResultsWarehouse  # noqa: F401

@@ -253,27 +253,49 @@ class ResultsWarehouse:
                         break
                 stop = False
                 barriers: List[threading.Event] = []
+                tasks: List[tuple] = []
                 for kind, payload in batch:
                     if kind == "stop":
                         stop = True
                     elif kind == "flush":
                         barriers.append(payload)
+                    elif kind == "task":
+                        tasks.append(payload)
                     else:  # ("sql", (statement, rows))
                         statement, rows = payload
                         conn.executemany(statement, rows)
                 conn.commit()
                 for barrier in barriers:
                     barrier.set()
+                # serialized tasks run after the batch commit, each in
+                # its own try: a failing task (bad query, interrupted
+                # vacuum) reports to its caller without killing the
+                # writer the way a failed insert batch would
+                for fn, holder, done in tasks:
+                    try:
+                        holder["result"] = fn(conn)
+                        conn.commit()
+                    except Exception as exc:
+                        holder["error"] = exc
+                        try:
+                            conn.rollback()
+                        except sqlite3.Error:
+                            pass
+                    finally:
+                        done.set()
                 if stop:
                     return
         except BaseException as exc:  # surface on the next write/flush
             self._writer_error = exc
-            # unblock every flusher still queued so nothing deadlocks
+            # unblock every flusher/task still queued so nothing deadlocks
             try:
                 while True:
                     kind, payload = self._queue.get_nowait()
                     if kind == "flush":
                         payload.set()
+                    elif kind == "task":
+                        payload[1]["error"] = exc
+                        payload[2].set()
             except queue.Empty:
                 pass
         finally:
@@ -389,6 +411,97 @@ class ResultsWarehouse:
             raise WarehouseError(
                 f"warehouse writer died: {self._writer_error!r}"
             )
+
+    def run_serialized(self, fn, timeout_s: float = 60.0) -> Any:
+        """Run ``fn(conn)`` on the writer thread, after pending writes.
+
+        This is the serialization point the HTTP read endpoint and
+        :meth:`retain` go through: the callable sees a connection with
+        every enqueued write already committed, and it can never race
+        the writer because it *is* the writer for its turn.  The
+        callable's exception is re-raised here as a
+        :class:`WarehouseError` (the original as ``__cause__``);
+        a failing task does not kill the writer.
+        """
+        holder: Dict[str, Any] = {}
+        done = threading.Event()
+        self._enqueue(("task", (fn, holder, done)))
+        if not done.wait(timeout_s):
+            raise WarehouseError(
+                f"serialized task did not complete within {timeout_s:g}s"
+            )
+        if "error" in holder:
+            error = holder["error"]
+            if isinstance(error, WarehouseError):
+                raise error
+            raise WarehouseError(
+                f"serialized task failed: {error!r}"
+            ) from error
+        return holder.get("result")
+
+    def retain(
+        self,
+        *,
+        days: Optional[float] = None,
+        rows: Optional[int] = None,
+        vacuum: bool = True,
+        timeout_s: float = 300.0,
+    ) -> Dict[str, Any]:
+        """Compact the warehouse to a retention window and/or row cap.
+
+        ``days`` drops ``results`` and ``bench_history`` rows recorded
+        more than that many days ago; ``rows`` additionally caps
+        ``results`` to the newest N.  Runs serialized on the writer
+        thread (deletes commit first, then ``VACUUM`` reclaims the
+        file space outside any transaction).  Returns a summary dict.
+        """
+        if days is None and rows is None:
+            raise WarehouseError(
+                "retain needs a days window and/or a row cap"
+            )
+        if days is not None and days < 0:
+            raise WarehouseError("retain days must be >= 0")
+        if rows is not None and rows < 0:
+            raise WarehouseError("retain rows must be >= 0")
+        cutoff = (
+            time.time() - float(days) * 86400.0 if days is not None
+            else None
+        )
+
+        def _task(conn: sqlite3.Connection) -> Dict[str, Any]:
+            expired = bench = capped = 0
+            if cutoff is not None:
+                expired = conn.execute(
+                    "DELETE FROM results WHERE recorded_at < ?", (cutoff,)
+                ).rowcount
+                bench = conn.execute(
+                    "DELETE FROM bench_history WHERE recorded_at < ?",
+                    (cutoff,),
+                ).rowcount
+            if rows is not None:
+                capped = conn.execute(
+                    "DELETE FROM results WHERE id NOT IN ("
+                    "SELECT id FROM results "
+                    "ORDER BY recorded_at DESC, id DESC LIMIT ?)",
+                    (int(rows),),
+                ).rowcount
+            conn.commit()
+            if vacuum:
+                conn.execute("VACUUM")
+            (remaining,) = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+            return {
+                "path": str(self.path),
+                "removed_expired": int(expired),
+                "removed_over_cap": int(capped),
+                "bench_removed": int(bench),
+                "remaining": int(remaining),
+                "vacuumed": bool(vacuum),
+                "cutoff": cutoff,
+            }
+
+        return self.run_serialized(_task, timeout_s=timeout_s)
 
     def close(self, timeout_s: float = 30.0) -> None:
         """Flush and stop the writer; the warehouse rejects new writes."""

@@ -315,3 +315,93 @@ class TestFederationFrames:
                 protocol.make_pool_health_reply({})
             )
         assert info.value.code == "unknown-type"
+
+
+class TestWatchFrames:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            protocol.make_watch(),
+            protocol.make_watch(kinds=["submit", "job-done"],
+                                job="job-1", queue=64),
+            protocol.make_watch(components=["cluster.federation"]),
+            protocol.make_watch(events=False, status_interval=2.0),
+            protocol.make_watch_ack("w1", 512),
+            protocol.make_event("w1", {"kind": "submit", "ts": 1.0}),
+        ],
+    )
+    def test_watch_messages_round_trip(self, message):
+        assert decode_frame(encode_frame(message).rstrip(b"\n")) == message
+
+    def test_watch_requests_validate(self):
+        assert validate_request(protocol.make_watch()) == "watch"
+        assert validate_request(
+            protocol.make_watch(kinds=["submit"], queue=8)
+        ) == "watch"
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {"type": "watch", "kinds": "submit"},      # not a list
+            {"type": "watch", "kinds": [7]},
+            {"type": "watch", "components": "svc"},
+            {"type": "watch", "job": 42},
+            {"type": "watch", "queue": 0},
+            {"type": "watch", "queue": True},
+            {"type": "watch", "events": "yes"},
+            {"type": "watch", "status_interval": 0},
+            {"type": "watch", "status_interval": True},
+            # a watch that neither streams events nor pushes status
+            # would be a silent connection: refused outright
+            {"type": "watch", "events": False},
+        ],
+    )
+    def test_malformed_watch_frames_rejected(self, message):
+        with pytest.raises(ProtocolError) as info:
+            validate_request({"v": PROTOCOL_VERSION, **message})
+        assert info.value.code == "bad-message"
+
+    def test_watch_pushed_frames_are_not_requests(self):
+        for message in (
+            protocol.make_watch_ack("w1", 512),
+            protocol.make_event("w1", {"kind": "submit"}),
+        ):
+            with pytest.raises(ProtocolError) as info:
+                validate_request(message)
+            assert info.value.code == "unknown-type"
+
+
+class TestTraceFields:
+    def test_submit_carries_an_optional_trace(self):
+        message = protocol.make_submit(
+            [{"name": "E1"}], trace={"id": "t" * 16, "span": "s1"}
+        )
+        assert message["trace"] == {"id": "t" * 16, "span": "s1"}
+        assert validate_request(message) == "submit"
+        assert "trace" not in protocol.make_submit([{"name": "E1"}])
+
+    def test_lease_carries_an_optional_trace(self):
+        message = protocol.make_lease(
+            "lease-1", {"name": "E1"}, job="job-1",
+            trace={"id": "t" * 16, "span": "s2"},
+        )
+        assert decode_frame(
+            encode_frame(message).rstrip(b"\n")
+        ) == message
+        assert "trace" not in protocol.make_lease("l", {"name": "E1"})
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            "t1",                      # not an object
+            {},                        # no id
+            {"id": 7},                 # non-string id
+            {"id": "t1", "span": 5},   # non-string span
+        ],
+    )
+    def test_malformed_submit_trace_rejected(self, trace):
+        message = protocol.make_submit([{"name": "E1"}])
+        message["trace"] = trace
+        with pytest.raises(ProtocolError) as info:
+            validate_request(message)
+        assert info.value.code == "bad-message"

@@ -191,3 +191,150 @@ class TestStatusCommand:
         rc = main(["status", "--port", "1", "--timeout", "1"])
         assert rc == 2
         assert "service error" in capsys.readouterr().err
+
+
+class _PreWatchServer:
+    """A protocol-v1 listener that predates the ``watch`` frame.
+
+    Answers ``watch`` with ``unknown-type`` (exactly what an old
+    server's validator does) and serves ``status`` polls, so the CLI's
+    fallback path can be exercised against the real wire behavior.
+    """
+
+    def __init__(self):
+        import socket
+        import threading
+
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.host, self.port = self._sock.getsockname()
+        self.status_polls = 0
+        self.watch_refusals = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        import json as json_mod
+
+        from repro.service import protocol
+
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                reader = conn.makefile("rb")
+                for line in reader:
+                    frame = json_mod.loads(line)
+                    if frame["type"] == "watch":
+                        self.watch_refusals += 1
+                        conn.sendall(protocol.encode_frame(
+                            protocol.make_error(
+                                "unknown-type",
+                                "no request type 'watch'",
+                            )
+                        ))
+                        break  # old servers drop nothing else here
+                    if frame["type"] == "status":
+                        self.status_polls += 1
+                        conn.sendall(protocol.encode_frame(
+                            protocol.make_status_reply(
+                                {}, metrics={"counters": {}},
+                            )
+                        ))
+
+    def close(self):
+        self._stop.set()
+        self._sock.close()
+
+
+class TestStatusWatchFallback:
+    def test_watch_falls_back_to_polling_on_unknown_type(self, capsys):
+        import threading
+        import time as time_mod
+
+        stub = _PreWatchServer()
+        try:
+            thread = threading.Thread(
+                target=main,
+                args=(["status", "--host", stub.host,
+                       "--port", str(stub.port), "--watch",
+                       "--interval", "0.01", "--timeout", "5"],),
+                daemon=True,
+            )
+            thread.start()
+            deadline = time_mod.monotonic() + 15
+            while (stub.status_polls < 2
+                   and time_mod.monotonic() < deadline):
+                time_mod.sleep(0.01)
+        finally:
+            stub.close()
+        # the watch frame was refused once, then the CLI switched to
+        # the classic polling loop for good
+        assert stub.watch_refusals == 1
+        assert stub.status_polls >= 2
+        captured = capsys.readouterr()
+        assert "falling back to polling" in captured.err
+        assert '"jobs"' in captured.out
+
+    def test_forced_poll_never_sends_a_watch_frame(self):
+        import threading
+        import time as time_mod
+
+        stub = _PreWatchServer()
+        try:
+            thread = threading.Thread(
+                target=main,
+                args=(["status", "--host", stub.host,
+                       "--port", str(stub.port), "--watch", "--poll",
+                       "--interval", "0.01", "--timeout", "5"],),
+                daemon=True,
+            )
+            thread.start()
+            deadline = time_mod.monotonic() + 15
+            while (stub.status_polls < 2
+                   and time_mod.monotonic() < deadline):
+                time_mod.sleep(0.01)
+        finally:
+            stub.close()
+        assert stub.watch_refusals == 0
+        assert stub.status_polls >= 2
+
+
+class TestQueryServe:
+    def test_serve_answers_over_http_with_cli_parity(self, tmp_path):
+        import threading
+        import urllib.request
+
+        from repro.telemetry.httpd import WarehouseHTTP
+
+        db = tmp_path / "wh.sqlite"
+        seed_warehouse(db)
+        with ResultsWarehouse(str(db)) as warehouse:
+            endpoint = WarehouseHTTP(warehouse, port=0).start()
+            try:
+                with urllib.request.urlopen(
+                    endpoint.url + "/count?scenario=E10", timeout=30
+                ) as reply:
+                    body = json.loads(reply.read())
+                assert body["count"] == warehouse.count(scenario="E10")
+            finally:
+                endpoint.shutdown()
+        assert threading.active_count() >= 1  # endpoint died cleanly
+
+    def test_serve_flag_refuses_an_unbindable_port(self, tmp_path,
+                                                   capsys):
+        import socket
+
+        db = tmp_path / "wh.sqlite"
+        seed_warehouse(db)
+        blocker = socket.create_server(("127.0.0.1", 0))
+        try:
+            port = blocker.getsockname()[1]
+            rc = main(["query", "--db", str(db), "--serve",
+                       "--http-port", str(port)])
+        finally:
+            blocker.close()
+        assert rc == 2
+        assert "cannot bind" in capsys.readouterr().err

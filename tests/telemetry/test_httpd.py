@@ -1,0 +1,159 @@
+"""The warehouse HTTP read endpoint: parity with the query layer.
+
+Every request is exercised with :mod:`urllib.request` against a real
+:class:`WarehouseHTTP` on an ephemeral port, and the JSON answers are
+compared with the warehouse's own method results — the endpoint reuses
+the allowlisted filter/aggregate layer, so parity is the whole
+contract.  Writes are refused, unknown routes 404, bad parameters 400.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine.results import ScenarioResult
+from repro.telemetry.httpd import WarehouseHTTP
+from repro.telemetry.warehouse import ResultsWarehouse
+
+
+@pytest.fixture
+def served(tmp_path):
+    db = str(tmp_path / "wh.sqlite")
+    with ResultsWarehouse(db) as warehouse:
+        for i in range(6):
+            warehouse.record_result(
+                ScenarioResult(
+                    name="E10" if i % 2 else "E12",
+                    spec_hash=f"hash-{i}",
+                    verdict={"ratio": 1.0 + i},
+                    elapsed_s=0.1 * (i + 1),
+                ),
+                job_id=f"job-{i % 2}",
+            )
+        warehouse.flush()
+        endpoint = WarehouseHTTP(warehouse, port=0).start()
+        try:
+            yield endpoint, warehouse
+        finally:
+            endpoint.shutdown()
+
+
+def get_json(endpoint, path, expect=200):
+    try:
+        with urllib.request.urlopen(endpoint.url + path,
+                                    timeout=30) as reply:
+            assert reply.status == expect
+            return json.loads(reply.read())
+    except urllib.error.HTTPError as error:
+        assert error.code == expect, error.read()
+        return json.loads(error.read())
+
+
+class TestRoutes:
+    def test_root_lists_routes_and_db(self, served):
+        endpoint, warehouse = served
+        index = get_json(endpoint, "/")
+        assert "/results" in index["routes"]
+        assert index["db"] == str(warehouse.path)
+
+    def test_results_parity_with_query(self, served):
+        endpoint, warehouse = served
+        body = get_json(endpoint, "/results?scenario=E10&limit=2")
+        assert body["results"] == warehouse.query(scenario="E10",
+                                                  limit=2)
+        assert body["count"] == 2
+
+    def test_filters_compose_like_the_cli(self, served):
+        endpoint, warehouse = served
+        body = get_json(endpoint, "/results?job=job-1&status=ok")
+        assert body["results"] == warehouse.query(job="job-1",
+                                                  status="ok")
+        assert {r["job_id"] for r in body["results"]} == {"job-1"}
+
+    def test_count_parity(self, served):
+        endpoint, warehouse = served
+        assert get_json(endpoint, "/count")["count"] == 6
+        assert (get_json(endpoint, "/count?scenario=E12")["count"]
+                == warehouse.count(scenario="E12"))
+
+    def test_aggregate_parity_and_dash_tolerance(self, served):
+        endpoint, warehouse = served
+        body = get_json(
+            endpoint,
+            "/aggregate?agg=mean:wall_time_s&agg=count:"
+            "&group-by=scenario",
+        )
+        assert body["group_by"] == "scenario"
+        assert body["aggregate"] == warehouse.aggregate(
+            ["mean:wall_time_s", "count:"], group_by="scenario"
+        )
+
+    def test_stats_parity(self, served):
+        endpoint, warehouse = served
+        assert get_json(endpoint, "/stats") == json.loads(
+            json.dumps(warehouse.stats(), default=str)
+        )
+
+    def test_metrics_carries_http_counters(self, served):
+        endpoint, _warehouse = served
+        get_json(endpoint, "/count")
+        body = get_json(endpoint, "/metrics")
+        assert body["http"]["requests"] >= 2
+        assert body["http"]["errors"] == 0
+
+    def test_status_reports_liveness(self, served):
+        endpoint, _warehouse = served
+        body = get_json(endpoint, "/status")
+        assert body["uptime_s"] >= 0
+        assert body["warehouse"]["results"] == 6
+
+
+class TestRefusals:
+    def test_unknown_route_is_404_with_directions(self, served):
+        endpoint, _warehouse = served
+        body = get_json(endpoint, "/nope", expect=404)
+        assert body["routes"]
+
+    def test_bad_filter_field_is_400_not_500(self, served):
+        endpoint, _warehouse = served
+        body = get_json(endpoint, "/results?cached=maybe", expect=400)
+        assert "cached" in body["error"]
+        body = get_json(endpoint, "/results?limit=lots", expect=400)
+        assert "limit" in body["error"]
+
+    def test_disallowed_aggregate_is_400(self, served):
+        endpoint, _warehouse = served
+        body = get_json(endpoint, "/aggregate?agg=mean:error",
+                        expect=400)
+        assert "error" in body
+
+    def test_writes_are_405(self, served):
+        endpoint, _warehouse = served
+        request = urllib.request.Request(
+            endpoint.url + "/results", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 405
+
+    def test_errors_count_in_metrics(self, served):
+        endpoint, _warehouse = served
+        get_json(endpoint, "/nope", expect=404)
+        assert get_json(endpoint, "/metrics")["http"]["errors"] >= 1
+
+
+class TestSerialization:
+    def test_reads_see_writes_already_committed(self, served):
+        """A read after record_result must include it: the query runs
+        on the writer thread *behind* the pending insert."""
+        endpoint, warehouse = served
+        warehouse.record_result(
+            ScenarioResult(name="E10", spec_hash="hash-late",
+                           verdict={"ratio": 9.0}, elapsed_s=0.1),
+            job_id="job-late",
+        )
+        # no flush: enqueue order alone must be enough
+        body = get_json(endpoint, "/count?job=job-late")
+        assert body["count"] == 1
